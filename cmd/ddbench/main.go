@@ -1,0 +1,18 @@
+// Command ddbench regenerates the paper's figures and worked examples
+// as data tables (the per-experiment index of DESIGN.md), plus the
+// supplementary scaling and ablation studies.
+//
+// Usage:
+//
+//	ddbench            # run everything
+//	ddbench -exp E6    # run one experiment
+//	ddbench -list      # list experiment IDs
+package main
+
+import (
+	"os"
+
+	"quantumdd/internal/cli"
+)
+
+func main() { os.Exit(cli.RunDdbench(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,17 @@
+// Command ddconvert translates circuits between the tool's two input
+// formats — OpenQASM 2.0 and RevLib .real — and can re-verify with
+// decision diagrams that the translation preserved the functionality.
+//
+// Usage:
+//
+//	ddconvert -to qasm toffoli.real          # .real → QASM on stdout
+//	ddconvert -to real -check circuit.qasm   # QASM → .real, DD-verified
+package main
+
+import (
+	"os"
+
+	"quantumdd/internal/cli"
+)
+
+func main() { os.Exit(cli.RunDdconvert(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,17 @@
+// Command dddraw renders the decision diagram of a circuit's final
+// state or of its functionality matrix to SVG, Graphviz DOT, or ASCII,
+// in any of the tool's styles (classic, colored, modern).
+//
+// Usage:
+//
+//	dddraw [-what state|functionality] [-style classic] [-out dd.svg] circuit.qasm
+//	dddraw -colorwheel -out wheel.svg
+package main
+
+import (
+	"os"
+
+	"quantumdd/internal/cli"
+)
+
+func main() { os.Exit(cli.RunDddraw(os.Args[1:], os.Stdout, os.Stderr)) }

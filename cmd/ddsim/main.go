@@ -1,0 +1,17 @@
+// Command ddsim simulates a quantum circuit (.qasm or .real) on
+// decision diagrams and reports the classical results, the final-state
+// amplitudes or samples, an optional ASCII drawing of the diagram, and
+// circuit/DD statistics.
+//
+// Usage:
+//
+//	ddsim [-seed 1] [-shots 0] [-amplitudes] [-trace] [-draw] [-stats] file
+package main
+
+import (
+	"os"
+
+	"quantumdd/internal/cli"
+)
+
+func main() { os.Exit(cli.RunDdsim(os.Args[1:], os.Stdout, os.Stderr)) }

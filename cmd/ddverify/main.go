@@ -1,0 +1,20 @@
+// Command ddverify checks the equivalence of two quantum circuits
+// with decision diagrams (Sec. III-C / IV-C): either by constructing
+// and comparing the canonical system matrices, or by the advanced
+// alternating scheme that keeps the intermediate diagram close to the
+// identity (Ex. 12).
+//
+// Usage:
+//
+//	ddverify [-strategy proportional] [-trace] [-diagnose] left.qasm right.qasm
+//
+// Exit status: 0 equivalent, 1 not equivalent, 2 usage/parse error.
+package main
+
+import (
+	"os"
+
+	"quantumdd/internal/cli"
+)
+
+func main() { os.Exit(cli.RunDdverify(os.Args[1:], os.Stdout, os.Stderr)) }

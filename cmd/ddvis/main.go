@@ -1,0 +1,27 @@
+// Command ddvis serves the installation-free visualization web tool
+// (Sec. IV of the paper): open the printed URL in a browser to load
+// algorithms, step through DD-based simulation with measurement
+// dialogs, and verify two circuits against each other.
+//
+// Usage:
+//
+//	ddvis [-addr :8080] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"quantumdd/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "seed for sampled measurement outcomes")
+	flag.Parse()
+	srv := core.NewWebTool(*seed)
+	fmt.Printf("visualizing decision diagrams for quantum computing\n")
+	fmt.Printf("serving on http://localhost%s\n", *addr)
+	log.Fatal(srv.ListenAndServe(*addr))
+}

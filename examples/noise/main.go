@@ -1,0 +1,34 @@
+// Noise study: Monte-Carlo trajectory simulation under Pauli noise.
+// Each trajectory stays a pure state (a cheap vector DD); the ensemble
+// shows how a GHZ state's signature outcome pair degrades as the
+// depolarizing rate grows.
+//
+// Run with: go run ./examples/noise
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/sim"
+)
+
+func main() {
+	const n = 5
+	const trajectories = 2000
+	circ := algorithms.GHZ(n)
+	all := int64(1)<<n - 1
+	fmt.Printf("GHZ(%d) under depolarizing noise, %d trajectories per point\n\n", n, trajectories)
+	fmt.Printf("%-10s %14s %14s %12s\n", "p(error)", "P(|0…0⟩,|1…1⟩)", "error events", "mean nodes")
+	for _, p := range []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		res, err := sim.RunNoisy(circ, sim.NoiseModel{Depolarizing: p}, trajectories, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		legal := float64(res.Counts[0]+res.Counts[all]) / float64(trajectories)
+		fmt.Printf("%-10.3f %14.3f %14d %12.1f\n", p, legal, res.ErrorEvents, res.MeanNodes)
+	}
+	fmt.Println("\nthe GHZ signature decays smoothly with the error rate — and every")
+	fmt.Println("trajectory remained a compact decision diagram (no density matrices).")
+}

@@ -1,0 +1,3 @@
+module quantumdd
+
+go 1.22

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment once and checks the
+// paper-exact assertions built into the drivers.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			sum, err := e.Run(io.Discard)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(sum) == 0 {
+				t.Fatalf("%s produced no summary", e.ID)
+			}
+		})
+	}
+}
+
+// TestHeadlineNumbers asserts the exact figures the paper states.
+func TestHeadlineNumbers(t *testing.T) {
+	e1, _ := ByID("E1")
+	s, err := e1.Run(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["nodes"] != 3 {
+		t.Fatalf("E1 nodes = %v, want 3", s["nodes"])
+	}
+	e6, _ := ByID("E6")
+	s, err = e6.Run(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["peak_proportional"] != 9 || s["peak_construction"] != 21 {
+		t.Fatalf("E6 numbers deviate from Ex. 12: %v", s)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("E5 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestRunAllPrintsEverySection(t *testing.T) {
+	var b strings.Builder
+	sums, err := RunAll(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Fatalf("output missing section %s", e.ID)
+		}
+		if _, ok := sums[e.ID]; !ok {
+			t.Fatalf("summaries missing %s", e.ID)
+		}
+	}
+	if !strings.Contains(out, "summary:") {
+		t.Fatal("no summaries printed")
+	}
+}

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"quantumdd/internal/bench"
+)
+
+// RunDdbench is the ddbench tool: regenerate the paper's experiments.
+func RunDdbench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "run only the experiment with this ID (e.g. E6)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(stderr, "ddbench: unknown experiment %q (use -list)\n", *exp)
+			return 2
+		}
+		fmt.Fprintf(stdout, "=== %s: %s ===\npaper: %s\n", e.ID, e.Title, e.Paper)
+		if _, err := e.Run(stdout); err != nil {
+			fmt.Fprintln(stderr, "ddbench:", err)
+			return 1
+		}
+		return 0
+	}
+	if _, err := bench.RunAll(stdout); err != nil {
+		fmt.Fprintln(stderr, "ddbench:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"quantumdd/internal/core"
+	"quantumdd/internal/realfmt"
+	"quantumdd/internal/verify"
+)
+
+// RunDdconvert is the ddconvert tool: translate circuits between the
+// tool's two input formats (OpenQASM 2.0 and RevLib .real), optionally
+// re-verifying that the translation preserved the functionality.
+func RunDdconvert(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddconvert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	to := fs.String("to", "qasm", "target format: qasm | real")
+	check := fs.Bool("check", false, "verify the output is equivalent to the input (DD-based)")
+	out := fs.String("out", "", "output file (default: stdout)")
+	format := fs.String("format", "", "input format: qasm, real, or auto")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ddconvert [-to qasm|real] [-check] <circuit>")
+		fs.PrintDefaults()
+		return 2
+	}
+	circ, err := core.LoadCircuitFile(fs.Arg(0), *format)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddconvert:", err)
+		return 1
+	}
+	var rendered string
+	switch *to {
+	case "qasm":
+		rendered = circ.QASM()
+	case "real":
+		rendered, err = realfmt.WriteString(circ)
+		if err != nil {
+			fmt.Fprintln(stderr, "ddconvert:", err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(stderr, "ddconvert: unknown target format %q\n", *to)
+		return 2
+	}
+	if *check {
+		back, err := core.LoadCircuit(rendered, *to)
+		if err != nil {
+			fmt.Fprintf(stderr, "ddconvert: output does not re-parse: %v\n", err)
+			return 1
+		}
+		if circ.HasNonUnitary() {
+			fmt.Fprintln(stderr, "ddconvert: -check skipped (circuit contains non-unitary operations)")
+		} else {
+			res, err := verify.Check(circ, back, verify.Proportional)
+			if err != nil {
+				fmt.Fprintln(stderr, "ddconvert:", err)
+				return 1
+			}
+			if !res.Equivalent {
+				fmt.Fprintln(stderr, "ddconvert: translation changed the functionality!")
+				return 1
+			}
+			fmt.Fprintln(stderr, "check: translation verified equivalent")
+		}
+	}
+	if *out == "" {
+		fmt.Fprint(stdout, rendered)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(rendered), 0o644); err != nil {
+		fmt.Fprintln(stderr, "ddconvert:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d bytes)\n", *out, len(rendered))
+	return 0
+}

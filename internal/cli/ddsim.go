@@ -1,0 +1,164 @@
+// Package cli implements the command-line tools as testable entry
+// points: each Run* function parses its own flag set, writes to the
+// supplied streams, and returns a process exit code. The thin mains
+// under cmd/ delegate here.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+
+	"quantumdd/internal/cnum"
+	"quantumdd/internal/core"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+	"quantumdd/internal/sim"
+	"quantumdd/internal/vis"
+)
+
+// RunDdsim is the ddsim tool: simulate a circuit file on decision
+// diagrams and report results.
+func RunDdsim(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "measurement sampling seed")
+	shots := fs.Int("shots", 0, "sample the final state this many times")
+	amplitudes := fs.Bool("amplitudes", false, "print the dense final state (small circuits)")
+	trace := fs.Bool("trace", false, "print one line per executed operation")
+	stats := fs.Bool("stats", false, "print circuit and DD statistics")
+	draw := fs.Bool("draw", false, "print the final decision diagram as ASCII")
+	format := fs.String("format", "", "input format: qasm, real, or auto")
+	noise := fs.Float64("noise", 0, "depolarizing noise probability per gate operand (enables trajectory mode)")
+	trajectories := fs.Int("trajectories", 1000, "Monte-Carlo trajectories in noise mode")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ddsim [flags] <circuit.qasm|circuit.real>")
+		fs.PrintDefaults()
+		return 2
+	}
+	circ, err := core.LoadCircuitFile(fs.Arg(0), *format)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddsim:", err)
+		return 1
+	}
+	if *noise > 0 {
+		return runDdsimNoisy(circ, *noise, *trajectories, *seed, stdout, stderr)
+	}
+	return runDdsimOn(circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, stdout, stderr)
+}
+
+// runDdsimNoisy aggregates Monte-Carlo trajectories under depolarizing
+// noise and prints the resulting distribution.
+func runDdsimNoisy(circ *qc.Circuit, p float64, trajectories int, seed int64, stdout, stderr io.Writer) int {
+	res, err := sim.RunNoisy(circ, sim.NoiseModel{Depolarizing: p}, trajectories, seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "noisy simulation: %d trajectories, depolarizing p=%g, %d error events, mean %d-qubit DD %.1f nodes\n",
+		res.Trajectories, p, res.ErrorEvents, circ.NQubits, res.MeanNodes)
+	type kv struct {
+		idx int64
+		n   int
+	}
+	var rows []kv
+	for idx, n := range res.Counts {
+		rows = append(rows, kv{idx, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].idx < rows[j].idx
+	})
+	shown := 0
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "  |%0*b>  %6d  (%.2f%%)\n", circ.NQubits, r.idx, r.n, 100*float64(r.n)/float64(res.Trajectories))
+		shown++
+		if shown >= 16 {
+			fmt.Fprintf(stdout, "  … %d more outcomes\n", len(rows)-shown)
+			break
+		}
+	}
+	return 0
+}
+
+func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stats, draw bool, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stdout, "circuit: %d qubits, %d classical bits, %d operations (%d gates)\n",
+		circ.NQubits, circ.NClbits, len(circ.Ops), circ.NumGates())
+
+	s := sim.New(circ, sim.WithSeed(seed))
+	for !s.AtEnd() {
+		ev, err := s.StepForward()
+		if err != nil {
+			fmt.Fprintln(stderr, "ddsim:", err)
+			return 1
+		}
+		if trace && ev.Op != nil {
+			fmt.Fprintf(stdout, "  op %3d  %-32s nodes=%d\n", ev.OpIndex, ev.Op.String(), dd.SizeV(s.State()))
+		}
+	}
+	if circ.NClbits > 0 {
+		fmt.Fprint(stdout, "classical register (c[i], -1 = never measured):")
+		for i, b := range s.Classical() {
+			fmt.Fprintf(stdout, " c[%d]=%d", i, b)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintf(stdout, "final DD: %d nodes, peak %d nodes (dense state would hold %d amplitudes)\n",
+		dd.SizeV(s.State()), s.PeakNodes(), int64(1)<<uint(circ.NQubits))
+
+	if amplitudes {
+		if circ.NQubits > 16 {
+			fmt.Fprintf(stderr, "ddsim: refusing to expand %d qubits densely (limit 16)\n", circ.NQubits)
+			return 1
+		}
+		for idx, a := range s.Amplitudes() {
+			if cmplx.Abs(a) < 1e-12 {
+				continue
+			}
+			fmt.Fprintf(stdout, "  |%0*b>  %s\n", circ.NQubits, idx, cnum.FormatComplex(a))
+		}
+	}
+	if shots > 0 {
+		counts := dd.SampleCounts(s.State(), shots, rand.New(rand.NewSource(seed)))
+		type kv struct {
+			idx int64
+			n   int
+		}
+		var rows []kv
+		for idx, n := range counts {
+			rows = append(rows, kv{idx, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].idx < rows[j].idx
+		})
+		fmt.Fprintf(stdout, "samples (%d shots):\n", shots)
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "  |%0*b>  %6d  (%.2f%%)\n", circ.NQubits, r.idx, r.n, 100*float64(r.n)/float64(shots))
+		}
+	}
+	if draw {
+		fmt.Fprint(stdout, vis.FromVector(s.State()).Text())
+	}
+	if stats {
+		fmt.Fprint(stdout, "circuit stats: ", circStats(s))
+		st := s.Pkg().Stats()
+		fmt.Fprintf(stdout, "dd stats: vector nodes created=%d unique hits=%d cache hits=%d/%d gc runs=%d\n",
+			st.NodesCreatedV, st.UniqueHitsV, st.CacheHits, st.CacheLookups, st.GCRuns)
+	}
+	return 0
+}
+
+func circStats(s *sim.Simulator) string {
+	return statsString(s)
+}

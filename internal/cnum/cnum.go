@@ -1,0 +1,209 @@
+// Package cnum provides a tolerance-based unique table for complex
+// numbers, following the design of "How to Efficiently Handle Complex
+// Values? Implementing Decision Diagrams for Quantum Computing"
+// (Zulehner, Hillmich, Wille; ICCAD 2019).
+//
+// Decision diagrams for quantum computing annotate edges with complex
+// weights. Floating-point arithmetic introduces tiny representation
+// errors, so two weights that are mathematically equal may differ in
+// their bit patterns. Without countermeasures this destroys node
+// sharing (the whole point of a decision diagram) and compute-table
+// hits. The fix is to funnel every weight through a unique table that
+// maps all values within a tolerance of each other onto one canonical
+// representative. Canonical values are bit-identical and may therefore
+// be used directly as Go map keys.
+package cnum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strconv"
+)
+
+// DefaultTolerance is the radius within which two real values are
+// identified. It matches the default of the JKQ/MQT DD package.
+const DefaultTolerance = 1e-10
+
+// Commonly used canonical constants. Zero and One are canonical in
+// every Table because the table seeds its buckets with them.
+const (
+	// SqrtHalf is 1/sqrt(2), the ubiquitous Hadamard amplitude.
+	SqrtHalf = 0.70710678118654752440084436210484903928
+)
+
+// Table is a unique table of real numbers with tolerance-based lookup.
+// Complex values are canonicalized component-wise. A Table is not safe
+// for concurrent use; decision-diagram packages own exactly one.
+type Table struct {
+	tol     float64
+	inv     float64 // 1/bucket width
+	buckets map[int64][]float64
+	lookups uint64
+	hits    uint64
+}
+
+// NewTable returns a table using DefaultTolerance.
+func NewTable() *Table { return NewTableTol(DefaultTolerance) }
+
+// NewTableTol returns a table identifying reals within tol of each
+// other. tol must be positive.
+func NewTableTol(tol float64) *Table {
+	if tol <= 0 {
+		panic(fmt.Sprintf("cnum: tolerance must be positive, got %g", tol))
+	}
+	t := &Table{
+		tol:     tol,
+		inv:     1 / (2 * tol),
+		buckets: make(map[int64][]float64, 1024),
+	}
+	// Seed with the values that must be exactly representable so that
+	// IsZero/IsOne tests on canonical values are exact comparisons.
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, SqrtHalf, -SqrtHalf} {
+		t.LookupReal(v)
+	}
+	return t
+}
+
+// Tolerance reports the identification radius of the table.
+func (t *Table) Tolerance() float64 { return t.tol }
+
+// Stats reports the number of lookups performed and how many of them
+// hit an existing canonical value.
+func (t *Table) Stats() (lookups, hits uint64) { return t.lookups, t.hits }
+
+// LookupReal returns the canonical representative for v: if a value
+// within the tolerance is already stored it is returned, otherwise v
+// itself becomes canonical.
+func (t *Table) LookupReal(v float64) float64 {
+	t.lookups++
+	if math.IsNaN(v) {
+		panic("cnum: NaN cannot be canonicalized")
+	}
+	key := int64(math.Floor(v * t.inv))
+	// The candidate may fall in the bucket of v or a neighbour.
+	for _, k := range [3]int64{key, key - 1, key + 1} {
+		for _, c := range t.buckets[k] {
+			if math.Abs(c-v) <= t.tol {
+				t.hits++
+				return c
+			}
+		}
+	}
+	t.buckets[key] = append(t.buckets[key], v)
+	return v
+}
+
+// Lookup returns the canonical representative of c, canonicalizing the
+// real and imaginary parts independently.
+func (t *Table) Lookup(c complex128) complex128 {
+	return complex(t.LookupReal(real(c)), t.LookupReal(imag(c)))
+}
+
+// Size reports the number of distinct canonical reals stored.
+func (t *Table) Size() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// ApproxEqual reports whether a and b are component-wise within tol.
+func ApproxEqual(a, b complex128, tol float64) bool {
+	return math.Abs(real(a)-real(b)) <= tol && math.Abs(imag(a)-imag(b)) <= tol
+}
+
+// IsZero reports whether c is component-wise within tol of zero.
+func IsZero(c complex128, tol float64) bool { return ApproxEqual(c, 0, tol) }
+
+// IsOne reports whether c is component-wise within tol of one.
+func IsOne(c complex128, tol float64) bool { return ApproxEqual(c, 1, tol) }
+
+// Phase returns the argument of c in (-π, π].
+func Phase(c complex128) float64 { return cmplx.Phase(c) }
+
+// Omega returns e^{iπk/d}, the 2d-th root of unity raised to k, used
+// e.g. in the QFT functionality matrix (ω = e^{iπ/4} for three qubits).
+func Omega(k, d int) complex128 {
+	return cmplx.Exp(complex(0, math.Pi*float64(k)/float64(d)))
+}
+
+// piFractions lists denominators tried when pretty-printing angles.
+var piFractions = []int{1, 2, 3, 4, 6, 8, 12, 16, 32}
+
+// FormatAngle renders an angle in radians as a π-fraction where one
+// exists within tolerance ("π/4", "-3π/8", …) and as a decimal
+// otherwise. This mirrors the edge-weight labels in the paper's
+// "classic" visualization style.
+func FormatAngle(theta float64) string {
+	if math.Abs(theta) <= DefaultTolerance {
+		return "0"
+	}
+	for _, d := range piFractions {
+		ratio := theta * float64(d) / math.Pi
+		n := math.Round(ratio)
+		if n != 0 && math.Abs(ratio-n) <= 1e-9 {
+			return formatPi(int(n), d)
+		}
+	}
+	return strconv.FormatFloat(theta, 'g', 6, 64)
+}
+
+func formatPi(num, den int) string {
+	sign := ""
+	if num < 0 {
+		sign = "-"
+		num = -num
+	}
+	switch {
+	case den == 1 && num == 1:
+		return sign + "π"
+	case den == 1:
+		return fmt.Sprintf("%s%dπ", sign, num)
+	case num == 1:
+		return fmt.Sprintf("%sπ/%d", sign, den)
+	default:
+		return fmt.Sprintf("%s%dπ/%d", sign, num, den)
+	}
+}
+
+// FormatComplex renders a complex number compactly for DD edge labels:
+// real-only values print as reals, magnitude-one phases print as e^(iθ)
+// with θ as a π-fraction, and general values as "a+bi".
+func FormatComplex(c complex128) string {
+	const tol = 1e-9
+	re, im := real(c), imag(c)
+	switch {
+	case math.Abs(im) <= tol:
+		return trimFloat(re)
+	case math.Abs(re) <= tol:
+		return trimFloat(im) + "i"
+	}
+	if math.Abs(cmplx.Abs(c)-1) <= tol {
+		return "e^(i" + FormatAngle(cmplx.Phase(c)) + ")"
+	}
+	if im < 0 {
+		return trimFloat(re) + "-" + trimFloat(-im) + "i"
+	}
+	return trimFloat(re) + "+" + trimFloat(im) + "i"
+}
+
+func trimFloat(v float64) string {
+	const tol = 1e-9
+	// Common DD amplitudes print symbolically.
+	switch {
+	case math.Abs(v-SqrtHalf) <= tol:
+		return "1/√2"
+	case math.Abs(v+SqrtHalf) <= tol:
+		return "-1/√2"
+	case math.Abs(v-0.5) <= tol:
+		return "1/2"
+	case math.Abs(v+0.5) <= tol:
+		return "-1/2"
+	}
+	if math.Abs(v-math.Round(v)) <= tol {
+		return strconv.FormatInt(int64(math.Round(v)), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

@@ -1,0 +1,219 @@
+package core
+
+// Integration tests across the whole stack: front ends → DD engine →
+// simulation/verification → rendering, exercised through the façade.
+
+import (
+	"math"
+	"math/cmplx"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/realfmt"
+	"quantumdd/internal/vis"
+)
+
+const bellQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[1];
+cx q[1],q[0];
+`
+
+func TestLoadSimulateRenderPipeline(t *testing.T) {
+	circ, err := LoadCircuit(bellQASM, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classical, state, pkg, err := Simulate(circ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classical) != 0 {
+		t.Fatalf("unexpected classical bits: %v", classical)
+	}
+	if got := dd.SizeV(state); got != 3 {
+		t.Fatalf("Bell DD has %d nodes", got)
+	}
+	if p1 := pkg.ProbOne(state, 0); math.Abs(p1-0.5) > 1e-9 {
+		t.Fatalf("P(q0=1) = %v", p1)
+	}
+	for name := range map[string]bool{"classic": true, "colored": true, "modern": true} {
+		style, err := StyleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if svg := RenderState(state, style); !strings.Contains(svg, "<svg") {
+			t.Fatalf("style %s render failed", name)
+		}
+	}
+	if dot := RenderStateDOT(state, vis.Style{}); !strings.Contains(dot, "digraph") {
+		t.Fatal("dot render failed")
+	}
+	if _, err := StyleByName("cubist"); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}
+
+func TestFunctionalityAndEquivalencePipeline(t *testing.T) {
+	u, p, err := Functionality(algorithms.QFT(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dd.SizeM(u); got != 21 {
+		t.Fatalf("QFT3 functionality has %d nodes", got)
+	}
+	if svg := RenderOperation(u, vis.Style{Mode: vis.Colored}); !strings.Contains(svg, "<svg") {
+		t.Fatal("operation render failed")
+	}
+	if dot := RenderOperationDOT(u, vis.Style{}); !strings.Contains(dot, "digraph") {
+		t.Fatal("operation dot render failed")
+	}
+	_ = p
+	res, err := CheckEquivalence(algorithms.QFT(3), algorithms.QFTCompiled(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.PeakNodes != 9 {
+		t.Fatalf("equivalence result wrong: %+v", res)
+	}
+}
+
+func TestRealToQASMCrossFormatEquivalence(t *testing.T) {
+	// A Toffoli network loaded from .real must be equivalent to the
+	// same network written in QASM.
+	realSrc := `
+.numvars 3
+.variables a b c
+.begin
+t3 a b c
+t2 a b
+.end
+`
+	qasmSrc := `
+qreg q[3];
+ccx q[0],q[1],q[2];
+cx q[0],q[1];
+`
+	cr, err := LoadCircuit(realSrc, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := LoadCircuit(qasmSrc, "qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckEquivalence(cr, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("cross-format circuits not equivalent")
+	}
+	// And the .real writer round-trips through the façade loader.
+	serialized, err := realfmt.WriteString(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCircuit(serialized, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckEquivalence(cr, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("real round trip broke equivalence")
+	}
+}
+
+func TestNewStepperWalk(t *testing.T) {
+	s := NewStepper(algorithms.Bell(), 3)
+	if !s.AtStart() {
+		t.Fatal("stepper not at start")
+	}
+	if _, err := s.StepForward(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepForward(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AtEnd() {
+		t.Fatal("stepper not at end after two gates")
+	}
+	amps := s.Amplitudes()
+	if cmplx.Abs(amps[0]-complex(1/math.Sqrt2, 0)) > 1e-9 {
+		t.Fatalf("stepper state wrong: %v", amps)
+	}
+}
+
+func TestSimulationFrames(t *testing.T) {
+	frames, err := SimulationFrames(algorithms.BellMeasured(), 1, vis.Style{Mode: vis.Modern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// initial + 4 ops.
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames, want 5", len(frames))
+	}
+	for i, f := range frames {
+		if !strings.Contains(f, "<svg") {
+			t.Fatalf("frame %d is not SVG", i)
+		}
+	}
+	if !strings.Contains(frames[0], "initial state") {
+		t.Fatal("first frame missing caption")
+	}
+}
+
+func TestLoadCircuitErrors(t *testing.T) {
+	if _, err := LoadCircuit("garbage", ""); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadCircuit(bellQASM, "real"); err == nil {
+		t.Fatal("format mismatch accepted")
+	}
+}
+
+func TestLoadCircuitFile(t *testing.T) {
+	dir := t.TempDir()
+	lib := filepath.Join(dir, "lib.inc")
+	if err := os.WriteFile(lib, []byte("gate myx a { x a; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	main := filepath.Join(dir, "main.qasm")
+	if err := os.WriteFile(main, []byte("include \"lib.inc\";\nqreg q[1];\nmyx q[0];\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCircuitFile(main, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Fatalf("included gate lost: %d gates", c.NumGates())
+	}
+	// .real by extension.
+	realPath := filepath.Join(dir, "net.real")
+	if err := os.WriteFile(realPath, []byte(".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCircuitFile(realPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NQubits != 2 {
+		t.Fatal(".real extension not honored")
+	}
+	if _, err := LoadCircuitFile(main, "weird"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := LoadCircuitFile(filepath.Join(dir, "missing.qasm"), ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,450 @@
+// Package dd implements decision diagrams for quantum computing as
+// described in Sec. III of "Visualizing Decision Diagrams for Quantum
+// Computing" (Wille, Burgholzer, Artner; DATE 2021) and the underlying
+// package literature (Niemann et al., TCAD 2016; Zulehner et al.,
+// ICCAD 2019; Hillmich et al., DAC 2020).
+//
+// Two diagram kinds exist. A vector DD represents a 2^n state vector:
+// each node is labelled with a qubit and has two successors, splitting
+// the vector into the halves where that qubit is |0⟩ or |1⟩. A matrix
+// DD represents a 2^n×2^n operation matrix: each node has four
+// successors U00, U01, U10, U11, splitting the matrix into quadrants
+// (the successor Uij describes the action on the rest of the system
+// given that the node's qubit maps |j⟩ to |i⟩).
+//
+// Equal sub-vectors/sub-matrices are shared via per-level unique
+// tables, and sub-structures differing only by a common factor are
+// unified by pulling the factor out into a complex edge weight,
+// normalizing each node to a canonical form. Together with canonical
+// complex values (package cnum), this makes diagrams canonical: two
+// states (or operations) are equal exactly when their root edges are
+// identical, which is what makes DD-based equivalence checking a
+// pointer comparison.
+//
+// All diagrams are "quasi-reduced": every path from the root to the
+// terminal visits every level, except that all-zero sub-structures are
+// collapsed into zero stubs (a weight-0 edge to the terminal). This is
+// the convention of the paper's figures.
+//
+// Diagrams are created through a Pkg, which owns the unique tables,
+// the complex table, and the operation caches. A Pkg is not safe for
+// concurrent use.
+package dd
+
+import (
+	"fmt"
+	"math"
+
+	"quantumdd/internal/cnum"
+)
+
+// Var identifies a qubit level inside a diagram. Level 0 is the
+// bottom-most (least-significant qubit q0, matching the big-endian
+// |q_{n-1}…q_0⟩ convention of the paper).
+type Var = int
+
+// terminalVar labels the shared terminal node; it compares below every
+// real level.
+const terminalVar Var = -1
+
+// VNode is a vector decision-diagram node. Nodes are immutable after
+// construction and unique within a Pkg: structural equality implies
+// pointer equality.
+type VNode struct {
+	E   [2]VEdge // successors: E[0] = qubit |0⟩ branch, E[1] = |1⟩ branch
+	V   Var      // qubit level
+	ref int      // reference count for garbage collection
+}
+
+// MNode is a matrix decision-diagram node with the four quadrant
+// successors in row-major order: E[2i+j] describes the action given
+// the node's qubit maps |j⟩ to |i⟩.
+type MNode struct {
+	E   [4]MEdge
+	V   Var
+	ref int
+}
+
+// Shared immutable terminal nodes. Their edge arrays are never read.
+var (
+	vTerminal = &VNode{V: terminalVar}
+	mTerminal = &MNode{V: terminalVar}
+)
+
+// VEdge is a weighted edge to a vector node. The zero value is not
+// meaningful; use Pkg methods or VZero/VOne helpers.
+type VEdge struct {
+	W complex128 // canonical complex weight
+	N *VNode
+}
+
+// MEdge is a weighted edge to a matrix node.
+type MEdge struct {
+	W complex128
+	N *MNode
+}
+
+// IsTerminal reports whether the edge points at the terminal node.
+func (e VEdge) IsTerminal() bool { return e.N == vTerminal }
+
+// IsZero reports whether the edge denotes the all-zero vector.
+func (e VEdge) IsZero() bool { return e.N == vTerminal && e.W == 0 }
+
+// IsTerminal reports whether the edge points at the terminal node.
+func (e MEdge) IsTerminal() bool { return e.N == mTerminal }
+
+// IsZero reports whether the edge denotes the all-zero matrix.
+func (e MEdge) IsZero() bool { return e.N == mTerminal && e.W == 0 }
+
+// Level returns the level the edge operates on: the node's level, or
+// terminalVar for terminal edges.
+func (e VEdge) Level() Var { return e.N.V }
+
+// Level returns the level the edge operates on.
+func (e MEdge) Level() Var { return e.N.V }
+
+// Pkg owns all tables needed to build and manipulate decision
+// diagrams over a fixed number of qubits.
+type Pkg struct {
+	nqubits int
+	cn      *cnum.Table
+
+	// CachesDisabled turns the operation caches off (lookups always
+	// miss and results are not stored). Exists for the ablation
+	// experiments quantifying what the compute tables buy.
+	CachesDisabled bool
+
+	// vnorm selects the vector normalization scheme; see NormScheme.
+	vnorm NormScheme
+
+	vUnique []map[vKey]*VNode
+	mUnique []map[mKey]*MNode
+
+	// Operation caches. Entries are invalidated wholesale on garbage
+	// collection; see gc.go.
+	addVCache map[addVKey]VEdge
+	addMCache map[addMKey]MEdge
+	mulMV     map[mulMVKey]VEdge
+	mulMM     map[mulMMKey]MEdge
+	kronCache map[kronKey]MEdge
+	conjCache map[*MNode]MEdge
+	fidCache  map[fidKey]complex128
+
+	// Roots protected from garbage collection, see IncRef/DecRef.
+	stats Stats
+}
+
+// Stats aggregates package counters, exposed for the benchmark
+// harness and the ablation experiments.
+type Stats struct {
+	NodesCreatedV uint64 // vector unique-table misses
+	NodesCreatedM uint64 // matrix unique-table misses
+	UniqueHitsV   uint64
+	UniqueHitsM   uint64
+	CacheLookups  uint64
+	CacheHits     uint64
+	GCRuns        uint64
+	NodesFreed    uint64
+}
+
+type vKey struct {
+	w0, w1 complex128
+	n0, n1 *VNode
+}
+
+type mKey struct {
+	w [4]complex128
+	n [4]*MNode
+}
+
+// NormScheme selects how vector nodes are normalized. Both schemes
+// yield canonical diagrams; they differ in what the edge weights mean.
+type NormScheme int
+
+const (
+	// NormL2 divides a node's outgoing weights by their 2-norm
+	// (footnote 3 of the paper): squared weights are then branch
+	// probabilities, enabling O(n) single-path sampling and ProbOne.
+	// This is the default.
+	NormL2 NormScheme = iota
+	// NormMax divides by the entry of largest magnitude (the original
+	// QMDD convention): weights are relative to the dominant branch,
+	// probabilities are NOT directly readable. Exists for the
+	// normalization ablation (A4).
+	NormMax
+)
+
+// New creates a package for diagrams over n qubits using the default
+// complex tolerance.
+func New(n int) *Pkg { return NewTol(n, cnum.DefaultTolerance) }
+
+// SetVectorNormalization switches the vector normalization scheme.
+// It must be called before any diagrams are built: mixing schemes in
+// one package breaks canonicity.
+func (p *Pkg) SetVectorNormalization(s NormScheme) {
+	if v, m := p.ActiveNodes(); v+m > 0 {
+		panic("dd: cannot change normalization after diagrams were built")
+	}
+	p.vnorm = s
+}
+
+// VectorNormalization reports the active vector normalization scheme.
+func (p *Pkg) VectorNormalization() NormScheme { return p.vnorm }
+
+// NewTol creates a package with an explicit complex tolerance.
+func NewTol(n int, tol float64) *Pkg {
+	if n <= 0 {
+		panic(fmt.Sprintf("dd: number of qubits must be positive, got %d", n))
+	}
+	if n > 62 {
+		panic(fmt.Sprintf("dd: at most 62 qubits supported (basis-state indices are int64), got %d", n))
+	}
+	p := &Pkg{
+		nqubits: n,
+		cn:      cnum.NewTableTol(tol),
+		vUnique: make([]map[vKey]*VNode, n),
+		mUnique: make([]map[mKey]*MNode, n),
+	}
+	for i := 0; i < n; i++ {
+		p.vUnique[i] = make(map[vKey]*VNode)
+		p.mUnique[i] = make(map[mKey]*MNode)
+	}
+	p.resetCaches()
+	return p
+}
+
+func (p *Pkg) resetCaches() {
+	p.addVCache = make(map[addVKey]VEdge)
+	p.addMCache = make(map[addMKey]MEdge)
+	p.mulMV = make(map[mulMVKey]VEdge)
+	p.mulMM = make(map[mulMMKey]MEdge)
+	p.kronCache = make(map[kronKey]MEdge)
+	p.conjCache = make(map[*MNode]MEdge)
+	p.fidCache = make(map[fidKey]complex128)
+}
+
+// Qubits reports the number of qubits the package was created for.
+func (p *Pkg) Qubits() int { return p.nqubits }
+
+// Tolerance reports the complex identification radius.
+func (p *Pkg) Tolerance() float64 { return p.cn.Tolerance() }
+
+// Stats returns a snapshot of the package counters.
+func (p *Pkg) Stats() Stats { return p.stats }
+
+// VZero returns the all-zero vector edge (a zero stub).
+func VZero() VEdge { return VEdge{W: 0, N: vTerminal} }
+
+// VOne returns the terminal edge with weight one (the scalar 1).
+func VOne() VEdge { return VEdge{W: 1, N: vTerminal} }
+
+// MZero returns the all-zero matrix edge.
+func MZero() MEdge { return MEdge{W: 0, N: mTerminal} }
+
+// MOne returns the terminal matrix edge with weight one.
+func MOne() MEdge { return MEdge{W: 1, N: mTerminal} }
+
+// makeVNode normalizes the candidate node (v, e) and interns it in the
+// unique table, returning the canonical weighted edge.
+//
+// Vector nodes are normalized by the 2-norm of the pair of edge
+// weights (footnote 3 of the paper): the outgoing weights are divided
+// by sqrt(|w0|²+|w1|²) and the factor is pushed to the incoming edge.
+// A residual phase is pulled out of the first non-zero edge so that it
+// is real and non-negative, which makes the form canonical. As a
+// consequence, |w0|² and |w1|² at every node are the conditional
+// probabilities of the node's qubit being 0 or 1 — this is what makes
+// single-path sampling (Hillmich et al., DAC 2020) work.
+func (p *Pkg) makeVNode(v Var, e [2]VEdge) VEdge {
+	if v < 0 || v >= p.nqubits {
+		panic(fmt.Sprintf("dd: level %d out of range [0,%d)", v, p.nqubits))
+	}
+	for i, c := range e {
+		if c.IsZero() {
+			continue
+		}
+		if c.N.V != v-1 {
+			panic(fmt.Sprintf("dd: child %d of level-%d node has level %d (quasi-reduction violated)", i, v, c.N.V))
+		}
+	}
+	w0, w1 := e[0].W, e[1].W
+	m0 := real(w0)*real(w0) + imag(w0)*imag(w0)
+	m1 := real(w1)*real(w1) + imag(w1)*imag(w1)
+	if m0+m1 == 0 {
+		return VZero()
+	}
+	var top complex128
+	if p.vnorm == NormMax {
+		// QMDD convention: divide by the dominant entry (first on a
+		// tie within tolerance) so that one weight becomes exactly 1.
+		idx := 0
+		if m1 > m0+p.cn.Tolerance() {
+			idx = 1
+		}
+		if idx == 0 {
+			top = w0
+			w1 /= top
+			w0 = 1
+		} else {
+			top = w1
+			w0 /= top
+			w1 = 1
+		}
+	} else {
+		norm := math.Sqrt(m0 + m1)
+		w0 = complex(real(w0)/norm, imag(w0)/norm)
+		w1 = complex(real(w1)/norm, imag(w1)/norm)
+		top = complex(norm, 0)
+		// Pull the phase of the first non-zero weight into the top edge.
+		first := w0
+		if w0 == 0 || cnum.IsZero(w0, p.cn.Tolerance()) {
+			first = w1
+		}
+		mag := math.Hypot(real(first), imag(first))
+		phase := complex(real(first)/mag, imag(first)/mag)
+		if phase != 1 {
+			top *= phase
+			inv := complex(real(phase), -imag(phase)) // 1/phase for unit-magnitude phase
+			w0 *= inv
+			w1 *= inv
+		}
+	}
+	w0 = p.cn.Lookup(w0)
+	w1 = p.cn.Lookup(w1)
+	top = p.cn.Lookup(top)
+	if w0 == 0 && w1 == 0 {
+		// Both weights vanished within tolerance: the whole sub-vector
+		// is numerically zero.
+		return VZero()
+	}
+	n0, n1 := e[0].N, e[1].N
+	if w0 == 0 {
+		n0 = vTerminal
+	}
+	if w1 == 0 {
+		n1 = vTerminal
+	}
+	key := vKey{w0: w0, w1: w1, n0: n0, n1: n1}
+	tab := p.vUnique[v]
+	if n, ok := tab[key]; ok {
+		p.stats.UniqueHitsV++
+		return VEdge{W: top, N: n}
+	}
+	n := &VNode{V: v, E: [2]VEdge{{W: w0, N: n0}, {W: w1, N: n1}}}
+	tab[key] = n
+	p.stats.NodesCreatedV++
+	return VEdge{W: top, N: n}
+}
+
+// makeMNode normalizes the candidate matrix node and interns it.
+//
+// Matrix nodes are normalized by the entry of largest magnitude
+// (first such entry in index order on ties), which is divided out of
+// all four edges and pushed to the incoming edge. This is the QMDD
+// normalization scheme and yields a canonical form given canonical
+// complex values.
+func (p *Pkg) makeMNode(v Var, e [4]MEdge) MEdge {
+	if v < 0 || v >= p.nqubits {
+		panic(fmt.Sprintf("dd: level %d out of range [0,%d)", v, p.nqubits))
+	}
+	for i, c := range e {
+		if c.IsZero() {
+			continue
+		}
+		if c.N.V != v-1 {
+			panic(fmt.Sprintf("dd: child %d of level-%d matrix node has level %d (quasi-reduction violated)", i, v, c.N.V))
+		}
+	}
+	// Find the normalization entry: largest magnitude, first on ties
+	// (within tolerance, to keep the choice stable under jitter).
+	argMax := -1
+	maxMag := 0.0
+	tol := p.cn.Tolerance()
+	for i, c := range e {
+		m := real(c.W)*real(c.W) + imag(c.W)*imag(c.W)
+		if m > maxMag+tol {
+			maxMag = m
+			argMax = i
+		}
+	}
+	if argMax < 0 {
+		return MZero()
+	}
+	top := e[argMax].W
+	inv := 1 / top
+	var w [4]complex128
+	var n [4]*MNode
+	for i, c := range e {
+		if i == argMax {
+			w[i] = 1 // exact by construction
+		} else {
+			w[i] = p.cn.Lookup(c.W * inv)
+		}
+		n[i] = c.N
+		if w[i] == 0 {
+			n[i] = mTerminal
+		}
+	}
+	top = p.cn.Lookup(top)
+	key := mKey{w: w, n: n}
+	tab := p.mUnique[v]
+	if nd, ok := tab[key]; ok {
+		p.stats.UniqueHitsM++
+		return MEdge{W: top, N: nd}
+	}
+	nd := &MNode{V: v}
+	for i := range nd.E {
+		nd.E[i] = MEdge{W: w[i], N: n[i]}
+	}
+	tab[key] = nd
+	p.stats.NodesCreatedM++
+	return MEdge{W: top, N: nd}
+}
+
+// ActiveNodes reports the number of live nodes in the unique tables
+// (vector, matrix).
+func (p *Pkg) ActiveNodes() (vec, mat int) {
+	for _, t := range p.vUnique {
+		vec += len(t)
+	}
+	for _, t := range p.mUnique {
+		mat += len(t)
+	}
+	return vec, mat
+}
+
+// SizeV reports the number of distinct non-terminal nodes reachable
+// from e — the "number of nodes" of the paper (the terminal is not
+// counted, cf. Ex. 6).
+func SizeV(e VEdge) int {
+	seen := make(map[*VNode]bool)
+	var walk func(n *VNode)
+	walk = func(n *VNode) {
+		if n == vTerminal || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(n.E[0].N)
+		walk(n.E[1].N)
+	}
+	walk(e.N)
+	return len(seen)
+}
+
+// SizeM reports the number of distinct non-terminal nodes reachable
+// from e.
+func SizeM(e MEdge) int {
+	seen := make(map[*MNode]bool)
+	var walk func(n *MNode)
+	walk = func(n *MNode) {
+		if n == mTerminal || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.E {
+			walk(c.N)
+		}
+	}
+	walk(e.N)
+	return len(seen)
+}

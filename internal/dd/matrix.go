@@ -1,0 +1,198 @@
+package dd
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+)
+
+// GateMatrix is a 2×2 unitary in row-major order: [U00, U01, U10, U11].
+type GateMatrix [4]complex128
+
+// Control describes a control line of a quantum operation. A positive
+// control activates the gate when the qubit is |1⟩ (the • of circuit
+// diagrams), a negative control when it is |0⟩.
+type Control struct {
+	Qubit int
+	Neg   bool
+}
+
+// Ident returns the identity diagram over all qubits of the package —
+// the starting point and target of the alternating equivalence-
+// checking scheme (Ex. 12).
+func (p *Pkg) Ident() MEdge { return p.identUpTo(p.nqubits - 1) }
+
+// identUpTo builds the identity over levels 0..v inclusive.
+func (p *Pkg) identUpTo(v Var) MEdge {
+	e := MOne()
+	for z := 0; z <= v; z++ {
+		e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), e})
+	}
+	return e
+}
+
+// MakeGateDD builds the matrix diagram of a (multi-)controlled
+// single-qubit gate u acting on target, extended to the full register
+// width with identities (the tensor-product extension of Ex. 3/8).
+func (p *Pkg) MakeGateDD(u GateMatrix, target int, controls ...Control) MEdge {
+	if target < 0 || target >= p.nqubits {
+		panic(fmt.Sprintf("dd: gate target %d out of range [0,%d)", target, p.nqubits))
+	}
+	ctrl := make([]Control, len(controls))
+	copy(ctrl, controls)
+	sort.Slice(ctrl, func(i, j int) bool { return ctrl[i].Qubit < ctrl[j].Qubit })
+	for i, c := range ctrl {
+		if c.Qubit < 0 || c.Qubit >= p.nqubits {
+			panic(fmt.Sprintf("dd: control qubit %d out of range [0,%d)", c.Qubit, p.nqubits))
+		}
+		if c.Qubit == target {
+			panic(fmt.Sprintf("dd: control qubit %d equals target", c.Qubit))
+		}
+		if i > 0 && ctrl[i-1].Qubit == c.Qubit {
+			panic(fmt.Sprintf("dd: duplicate control qubit %d", c.Qubit))
+		}
+	}
+	ctrlAt := func(z int) (Control, bool) {
+		i := sort.Search(len(ctrl), func(i int) bool { return ctrl[i].Qubit >= z })
+		if i < len(ctrl) && ctrl[i].Qubit == z {
+			return ctrl[i], true
+		}
+		return Control{}, false
+	}
+
+	// Entry blocks of U as seen from just above the target level,
+	// covering all levels below the target.
+	var em [4]MEdge
+	for i, w := range u {
+		em[i] = MEdge{W: p.cn.Lookup(w), N: mTerminal}
+	}
+	id := MOne() // identity over the levels processed so far
+	for z := 0; z < target; z++ {
+		if c, ok := ctrlAt(z); ok {
+			for i := 0; i < 4; i++ {
+				diag := i == 0 || i == 3
+				inactive := MZero()
+				if diag {
+					inactive = id
+				}
+				if c.Neg {
+					em[i] = p.makeMNode(z, [4]MEdge{em[i], MZero(), MZero(), inactive})
+				} else {
+					em[i] = p.makeMNode(z, [4]MEdge{inactive, MZero(), MZero(), em[i]})
+				}
+			}
+		} else {
+			for i := 0; i < 4; i++ {
+				em[i] = p.makeMNode(z, [4]MEdge{em[i], MZero(), MZero(), em[i]})
+			}
+		}
+		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})
+	}
+
+	e := p.makeMNode(target, em)
+	id = p.makeMNode(target, [4]MEdge{id, MZero(), MZero(), id})
+
+	for z := target + 1; z < p.nqubits; z++ {
+		if c, ok := ctrlAt(z); ok {
+			if c.Neg {
+				e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), id})
+			} else {
+				e = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), e})
+			}
+		} else {
+			e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), e})
+		}
+		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})
+	}
+	return e
+}
+
+// MakeSwapDD builds the diagram of a SWAP between qubits a and b
+// (optionally controlled) as the product of three CNOTs — the standard
+// decomposition the paper's compiled circuits use.
+func (p *Pkg) MakeSwapDD(a, b int, controls ...Control) MEdge {
+	if a == b {
+		panic("dd: SWAP qubits must differ")
+	}
+	notX := GateMatrix{0, 1, 1, 0}
+	c1 := append(append([]Control{}, controls...), Control{Qubit: a})
+	c2 := append(append([]Control{}, controls...), Control{Qubit: b})
+	cx1 := p.MakeGateDD(notX, b, c1...)
+	cx2 := p.MakeGateDD(notX, a, c2...)
+	return p.MultMM(cx1, p.MultMM(cx2, cx1))
+}
+
+// MatrixEntry reconstructs the matrix element ⟨row|e|col⟩.
+func MatrixEntry(e MEdge, row, col int64) complex128 {
+	w := e.W
+	n := e.N
+	for n != mTerminal {
+		if w == 0 {
+			return 0
+		}
+		i := row >> uint(n.V) & 1
+		j := col >> uint(n.V) & 1
+		c := n.E[2*i+j]
+		w *= c.W
+		n = c.N
+	}
+	return w
+}
+
+// Matrix expands the diagram into a dense 2^n×2^n matrix (row-major
+// slices). Exponential; intended for tests and tiny examples.
+func (p *Pkg) Matrix(e MEdge) [][]complex128 {
+	dim := 1 << uint(p.nqubits)
+	out := make([][]complex128, dim)
+	for i := range out {
+		out[i] = make([]complex128, dim)
+	}
+	fillMatrix(e.W, e.N, 0, 0, out)
+	return out
+}
+
+func fillMatrix(w complex128, n *MNode, row, col int64, out [][]complex128) {
+	if w == 0 {
+		return
+	}
+	if n == mTerminal {
+		out[row][col] = w
+		return
+	}
+	for i := int64(0); i < 2; i++ {
+		for j := int64(0); j < 2; j++ {
+			c := n.E[2*i+j]
+			fillMatrix(w*c.W, c.N, row|i<<uint(n.V), col|j<<uint(n.V), out)
+		}
+	}
+}
+
+// IdentityKind classifies how close a matrix diagram is to the
+// identity, the acceptance criterion of DD-based verification.
+type IdentityKind int
+
+const (
+	// NotIdentity: the diagram differs structurally from the identity.
+	NotIdentity IdentityKind = iota
+	// IdentityUpToPhase: identity times a unit-magnitude global phase.
+	IdentityUpToPhase
+	// IdentityExact: the identity with weight one.
+	IdentityExact
+)
+
+// CheckIdentity classifies e against the identity diagram. Because
+// diagrams are canonical this is a pointer comparison on the root plus
+// a weight inspection (Sec. III-C: "comparing their root pointers").
+func (p *Pkg) CheckIdentity(e MEdge) IdentityKind {
+	if e.N != p.Ident().N {
+		return NotIdentity
+	}
+	tol := p.cn.Tolerance()
+	if cmplx.Abs(e.W-1) <= tol {
+		return IdentityExact
+	}
+	if mag := cmplx.Abs(e.W); mag >= 1-tol && mag <= 1+tol {
+		return IdentityUpToPhase
+	}
+	return NotIdentity
+}

@@ -1,0 +1,142 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestNormMaxAmplitudesAgree: both normalization schemes represent the
+// same vectors (amplitudes agree), they just distribute the weights
+// differently.
+func TestNormMaxAmplitudesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 25; round++ {
+		amps := randomState(rng, 3)
+		l2 := New(3)
+		mx := New(3)
+		mx.SetVectorNormalization(NormMax)
+		e1, err := l2.FromVector(amps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := mx.FromVector(amps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			if cmplx.Abs(Amplitude(e1, i)-Amplitude(e2, i)) > 1e-9 {
+				t.Fatalf("round %d: amplitude %d differs between schemes", round, i)
+			}
+		}
+	}
+}
+
+// TestNormMaxCanonicity: max-normalization is also canonical — equal
+// vectors share the node.
+func TestNormMaxCanonicity(t *testing.T) {
+	p := New(2)
+	p.SetVectorNormalization(NormMax)
+	amps := []complex128{complex(0.5, 0), complex(0.5, 0), complex(0.5, 0), complex(0.5, 0)}
+	a, err := p.FromVector(amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the same state through gates.
+	h0 := p.MakeGateDD(gateH, 0)
+	h1 := p.MakeGateDD(gateH, 1)
+	b := p.MultMV(h1, p.MultMV(h0, p.ZeroState()))
+	if a.N != b.N {
+		t.Fatal("NormMax lost canonicity")
+	}
+}
+
+// TestNormMaxWeightConvention: under NormMax one outgoing weight of
+// every node is exactly 1; under NormL2 the squared weights sum to 1.
+func TestNormMaxWeightConvention(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	amps := randomState(rng, 3)
+	mx := New(3)
+	mx.SetVectorNormalization(NormMax)
+	e, err := mx.FromVector(amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walkV(e.N, map[*VNode]bool{}, func(n *VNode) {
+		if n.E[0].W != 1 && n.E[1].W != 1 {
+			t.Fatalf("NormMax node without unit weight: %v %v", n.E[0].W, n.E[1].W)
+		}
+	})
+	l2 := New(3)
+	e2, err := l2.FromVector(amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walkV(e2.N, map[*VNode]bool{}, func(n *VNode) {
+		s := prob2(n.E[0].W) + prob2(n.E[1].W)
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("NormL2 node weights square-sum to %v", s)
+		}
+	})
+}
+
+func prob2(w complex128) float64 { return real(w)*real(w) + imag(w)*imag(w) }
+
+func walkV(n *VNode, seen map[*VNode]bool, f func(*VNode)) {
+	if n == vTerminal || seen[n] {
+		return
+	}
+	seen[n] = true
+	f(n)
+	walkV(n.E[0].N, seen, f)
+	walkV(n.E[1].N, seen, f)
+}
+
+// TestNormMaxProbOneGuard: probability read-out requires NormL2.
+func TestNormMaxProbOneGuard(t *testing.T) {
+	p := New(2)
+	p.SetVectorNormalization(NormMax)
+	e := p.ZeroState()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ProbOne must reject NormMax diagrams")
+		}
+	}()
+	p.ProbOne(e, 0)
+}
+
+// TestSetVectorNormalizationLate: switching schemes after building is
+// rejected.
+func TestSetVectorNormalizationLate(t *testing.T) {
+	p := New(2)
+	_ = p.ZeroState()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late scheme switch must panic")
+		}
+	}()
+	p.SetVectorNormalization(NormMax)
+}
+
+// TestNormSchemesSimulationAgree: a full gate sequence produces the
+// same state under both schemes.
+func TestNormSchemesSimulationAgree(t *testing.T) {
+	run := func(scheme NormScheme) []complex128 {
+		p := New(3)
+		p.SetVectorNormalization(scheme)
+		st := p.ZeroState()
+		st = p.MultMV(p.MakeGateDD(gateH, 2), st)
+		st = p.MultMV(p.MakeGateDD(gateT, 1, Control{Qubit: 2}), st)
+		st = p.MultMV(p.MakeGateDD(gateX, 0, Control{Qubit: 2}), st)
+		st = p.MultMV(p.MakeGateDD(gateS, 0), st)
+		return p.Vector(st)
+	}
+	a := run(NormL2)
+	b := run(NormMax)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("amplitude %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

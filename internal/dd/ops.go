@@ -1,0 +1,265 @@
+package dd
+
+import (
+	"math/cmplx"
+)
+
+// Cache keys. Weights are factored out of the operands wherever the
+// operation allows it, so that cache hits depend only on structure:
+//
+//	M·V:      (wm·M)·(wv·V)        = wm·wv·(M·V)
+//	A+B:      wa·A + wb·B          = wa·(A + (wb/wa)·B)
+//	kron:     (wa·A)⊗(wb·B)        = wa·wb·(A⊗B)
+//	conj-T:   (w·M)†               = conj(w)·M†
+//
+// The residual ratio in the addition key is canonicalized through the
+// complex table so numerically equal ratios collide.
+type (
+	addVKey struct {
+		a, b *VNode
+		r    complex128
+	}
+	addMKey struct {
+		a, b *MNode
+		r    complex128
+	}
+	mulMVKey struct {
+		m *MNode
+		v *VNode
+	}
+	mulMMKey struct {
+		a, b *MNode
+	}
+	kronKey struct {
+		a, b *MNode
+	}
+)
+
+// AddV returns the element-wise sum of the vectors a and b. Operands
+// must stem from this package and represent equally sized vectors.
+func (p *Pkg) AddV(a, b VEdge) VEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.N == vTerminal && b.N == vTerminal {
+		return VEdge{W: p.cn.Lookup(a.W + b.W), N: vTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic("dd: AddV operands have mismatched levels")
+	}
+	r := p.cn.Lookup(b.W / a.W)
+	p.stats.CacheLookups++
+	key := addVKey{a: a.N, b: b.N, r: r}
+	if res, ok := p.addVCache[key]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
+	}
+	v := a.N.V
+	var e [2]VEdge
+	for i := 0; i < 2; i++ {
+		ae := a.N.E[i]
+		be := b.N.E[i]
+		e[i] = p.AddV(ae, VEdge{W: r * be.W, N: be.N})
+	}
+	res := p.makeVNode(v, e)
+	p.addVCache[key] = res
+	return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
+}
+
+// AddM returns the element-wise sum of the matrices a and b.
+func (p *Pkg) AddM(a, b MEdge) MEdge {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	if a.N == mTerminal && b.N == mTerminal {
+		return MEdge{W: p.cn.Lookup(a.W + b.W), N: mTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic("dd: AddM operands have mismatched levels")
+	}
+	r := p.cn.Lookup(b.W / a.W)
+	p.stats.CacheLookups++
+	key := addMKey{a: a.N, b: b.N, r: r}
+	if res, ok := p.addMCache[key]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return MEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
+	}
+	v := a.N.V
+	var e [4]MEdge
+	for i := 0; i < 4; i++ {
+		ae := a.N.E[i]
+		be := b.N.E[i]
+		e[i] = p.AddM(ae, MEdge{W: r * be.W, N: be.N})
+	}
+	res := p.makeMNode(v, e)
+	p.addMCache[key] = res
+	return MEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
+}
+
+// MultMV computes the matrix-vector product m·v, the core of DD-based
+// simulation (Ex. 9, Fig. 4 of the paper): the product is decomposed
+// into the four quadrant sub-products, which are summed pairwise and
+// recursed until only scalar operations remain.
+func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
+	if m.IsZero() || v.IsZero() {
+		return VZero()
+	}
+	if m.N == mTerminal && v.N == vTerminal {
+		return VEdge{W: p.cn.Lookup(m.W * v.W), N: vTerminal}
+	}
+	if m.N.V != v.N.V {
+		panic("dd: MultMV operands have mismatched levels")
+	}
+	p.stats.CacheLookups++
+	key := mulMVKey{m: m.N, v: v.N}
+	if res, ok := p.mulMV[key]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return VEdge{W: p.cn.Lookup(res.W * m.W * v.W), N: res.N}
+	}
+	lv := m.N.V
+	var e [2]VEdge
+	for i := 0; i < 2; i++ {
+		sum := VZero()
+		for j := 0; j < 2; j++ {
+			me := m.N.E[2*i+j]
+			ve := v.N.E[j]
+			sum = p.AddV(sum, p.MultMV(me, ve))
+		}
+		e[i] = sum
+	}
+	res := p.makeVNode(lv, e)
+	p.mulMV[key] = res
+	return VEdge{W: p.cn.Lookup(res.W * m.W * v.W), N: res.N}
+}
+
+// MultMM computes the matrix-matrix product a·b (a applied after b),
+// used to build circuit functionality U = U_{m-1}···U_0.
+func (p *Pkg) MultMM(a, b MEdge) MEdge {
+	if a.IsZero() || b.IsZero() {
+		return MZero()
+	}
+	if a.N == mTerminal && b.N == mTerminal {
+		return MEdge{W: p.cn.Lookup(a.W * b.W), N: mTerminal}
+	}
+	if a.N.V != b.N.V {
+		panic("dd: MultMM operands have mismatched levels")
+	}
+	p.stats.CacheLookups++
+	key := mulMMKey{a: a.N, b: b.N}
+	if res, ok := p.mulMM[key]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
+	}
+	lv := a.N.V
+	var e [4]MEdge
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			sum := MZero()
+			for k := 0; k < 2; k++ {
+				ae := a.N.E[2*i+k]
+				be := b.N.E[2*k+j]
+				sum = p.AddM(sum, p.MultMM(ae, be))
+			}
+			e[2*i+j] = sum
+		}
+	}
+	res := p.makeMNode(lv, e)
+	p.mulMM[key] = res
+	return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
+}
+
+// KronM computes the tensor product a⊗b, where b spans the lowerQubits
+// bottom levels and a is re-based on top of it. As illustrated in
+// Fig. 3 of the paper, this amounts to replacing the terminal of a's
+// diagram with the root of b's diagram (relabelling a's nodes).
+func (p *Pkg) KronM(a, b MEdge, lowerQubits int) MEdge {
+	if a.IsZero() || b.IsZero() {
+		return MZero()
+	}
+	p.stats.CacheLookups++
+	key := kronKey{a: a.N, b: b.N}
+	if res, ok := p.kronCache[key]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
+	}
+	res := p.kronRec(MEdge{W: 1, N: a.N}, b.N, lowerQubits)
+	p.kronCache[key] = res
+	return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
+}
+
+func (p *Pkg) kronRec(a MEdge, b *MNode, shift int) MEdge {
+	if a.IsZero() {
+		return MZero()
+	}
+	if a.N == mTerminal {
+		return MEdge{W: a.W, N: b}
+	}
+	var e [4]MEdge
+	for i, c := range a.N.E {
+		e[i] = p.kronRec(c, b, shift)
+	}
+	return p.scaleM(p.makeMNode(a.N.V+shift, e), a.W)
+}
+
+// KronV computes the tensor product a⊗b of two state diagrams, with b
+// spanning the lowerQubits bottom levels.
+func (p *Pkg) KronV(a, b VEdge, lowerQubits int) VEdge {
+	if a.IsZero() || b.IsZero() {
+		return VZero()
+	}
+	res := p.kronVRec(VEdge{W: 1, N: a.N}, b.N, lowerQubits)
+	return VEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
+}
+
+func (p *Pkg) kronVRec(a VEdge, b *VNode, shift int) VEdge {
+	if a.IsZero() {
+		return VZero()
+	}
+	if a.N == vTerminal {
+		return VEdge{W: a.W, N: b}
+	}
+	var e [2]VEdge
+	for i, c := range a.N.E {
+		e[i] = p.kronVRec(c, b, shift)
+	}
+	res := p.makeVNode(a.N.V+shift, e)
+	return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
+}
+
+// ConjTranspose returns the conjugate transpose (adjoint) m† of the
+// matrix diagram, used to invert circuits for the advanced
+// equivalence-checking scheme.
+func (p *Pkg) ConjTranspose(m MEdge) MEdge {
+	if m.IsZero() {
+		return MZero()
+	}
+	if m.N == mTerminal {
+		return MEdge{W: p.cn.Lookup(cmplx.Conj(m.W)), N: mTerminal}
+	}
+	w := p.cn.Lookup(cmplx.Conj(m.W))
+	p.stats.CacheLookups++
+	if res, ok := p.conjCache[m.N]; ok && !p.CachesDisabled {
+		p.stats.CacheHits++
+		return MEdge{W: p.cn.Lookup(res.W * w), N: res.N}
+	}
+	var e [4]MEdge
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			// transpose swaps quadrants (i,j) -> (j,i)
+			e[2*i+j] = p.ConjTranspose(m.N.E[2*j+i])
+		}
+	}
+	res := p.makeMNode(m.N.V, e)
+	p.conjCache[m.N] = res
+	return MEdge{W: p.cn.Lookup(res.W * w), N: res.N}
+}
+
+func (p *Pkg) scaleM(e MEdge, w complex128) MEdge {
+	return MEdge{W: p.cn.Lookup(e.W * w), N: e.N}
+}

@@ -1,0 +1,115 @@
+package dd
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// interleavedPairs prepares ⊗ Bell pairs between qubit i and i+n/2 —
+// the classic instance where the variable order matters exponentially:
+// under the natural order every pair spans the whole diagram (size
+// ~2^{n/2}), while ordering partners adjacently gives a linear DD.
+func interleavedPairs(t *testing.T, p *Pkg) VEdge {
+	t.Helper()
+	n := p.Qubits()
+	if n%2 != 0 {
+		t.Fatal("need even qubit count")
+	}
+	st := p.ZeroState()
+	for i := 0; i < n/2; i++ {
+		st = p.MultMV(p.MakeGateDD(gateH, i), st)
+		st = p.MultMV(p.MakeGateDD(gateX, i+n/2, Control{Qubit: i}), st)
+	}
+	return st
+}
+
+func TestReorderedStatePreservesAmplitudesUpToRelabeling(t *testing.T) {
+	p := New(4)
+	st := interleavedPairs(t, p)
+	perm := []int{0, 2, 1, 3} // pair partners become adjacent
+	re, err := p.ReorderedState(st, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amplitude of basis index i in the reordered diagram equals the
+	// amplitude of the bit-permuted index in the original.
+	for i := int64(0); i < 16; i++ {
+		var mapped int64
+		for q := 0; q < 4; q++ {
+			if i>>uint(q)&1 == 1 {
+				mapped |= 1 << uint(perm[q])
+			}
+		}
+		if cmplx.Abs(Amplitude(re, mapped)-Amplitude(st, i)) > 1e-9 {
+			t.Fatalf("reordered amplitude mismatch at %04b", i)
+		}
+	}
+}
+
+func TestOrderMattersExponentially(t *testing.T) {
+	const n = 12
+	p := New(n)
+	st := interleavedPairs(t, p)
+	natural := SizeV(st)
+	// Pair partners adjacent: qubit i ↦ 2i, qubit i+n/2 ↦ 2i+1.
+	perm := make([]int, n)
+	for i := 0; i < n/2; i++ {
+		perm[i] = 2 * i
+		perm[i+n/2] = 2*i + 1
+	}
+	paired, err := p.ReorderedSize(st, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural order: ~3·2^{n/2}; paired order: ~3·(n/2).
+	if natural < 100 {
+		t.Fatalf("natural order unexpectedly compact: %d nodes", natural)
+	}
+	if paired >= natural/4 {
+		t.Fatalf("paired order did not help: %d vs %d nodes", paired, natural)
+	}
+	if paired > 3*n {
+		t.Fatalf("paired order not linear: %d nodes", paired)
+	}
+}
+
+func TestSiftOrderFindsGoodOrder(t *testing.T) {
+	const n = 8
+	p := New(n)
+	st := interleavedPairs(t, p)
+	natural := SizeV(st)
+	perm, size, err := p.SiftOrder(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > natural/2 {
+		t.Fatalf("sifting found %d nodes, natural order has %d", size, natural)
+	}
+	// The returned order must actually achieve the reported size.
+	check, err := p.ReorderedSize(st, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check != size {
+		t.Fatalf("reported size %d but order achieves %d", size, check)
+	}
+}
+
+func TestReorderValidation(t *testing.T) {
+	p := New(2)
+	st := p.ZeroState()
+	if _, err := p.ReorderedSize(st, []int{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := p.ReorderedSize(st, []int{1, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	// Identity permutation is a no-op.
+	re, err := p.ReorderedState(st, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != st {
+		t.Fatal("identity reorder changed the diagram")
+	}
+}

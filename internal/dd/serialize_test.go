@@ -1,0 +1,148 @@
+package dd
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestVectorSerializationRoundTrip(t *testing.T) {
+	p := New(3)
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 20; round++ {
+		e, err := p.FromVector(randomState(rng, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := p.WriteVector(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+		// Same package: must rebuild the identical canonical edge.
+		back, err := p.ReadVector(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", round, err, buf.String())
+		}
+		if back.N != e.N || cmplx.Abs(back.W-e.W) > 1e-12 {
+			t.Fatalf("round %d: canonical edge changed", round)
+		}
+		// Fresh package: amplitudes must agree.
+		p2 := New(3)
+		back2, err := p2.ReadVector(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			if cmplx.Abs(Amplitude(back2, i)-Amplitude(e, i)) > 1e-12 {
+				t.Fatalf("round %d: amplitude %d differs", round, i)
+			}
+		}
+	}
+}
+
+func TestVectorSerializationSpecialCases(t *testing.T) {
+	p := New(2)
+	// Zero vector.
+	var buf strings.Builder
+	if err := p.WriteVector(&buf, VZero()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.ReadVector(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsZero() {
+		t.Fatalf("zero vector round trip: %+v", back)
+	}
+	// Bell state serializes shared nodes once.
+	bell := bellState(t, p)
+	buf.Reset()
+	if err := p.WriteVector(&buf, bell); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\nn "); got+strings.Count(buf.String()[:2], "n ") > 3 {
+		nodeLines := 0
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(l, "n ") {
+				nodeLines++
+			}
+		}
+		if nodeLines != 3 {
+			t.Fatalf("bell serialization has %d node lines, want 3:\n%s", nodeLines, buf.String())
+		}
+	}
+}
+
+func TestMatrixSerializationRoundTrip(t *testing.T) {
+	p := New(3)
+	u := p.MultMM(p.MakeGateDD(gateT, 2, Control{Qubit: 0}),
+		p.MultMM(p.MakeGateDD(gateH, 1), p.MakeGateDD(gateX, 0, Control{Qubit: 2})))
+	var buf strings.Builder
+	if err := p.WriteMatrix(&buf, u); err != nil {
+		t.Fatal(err)
+	}
+	back, err := p.ReadMatrix(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != u.N || cmplx.Abs(back.W-u.W) > 1e-12 {
+		t.Fatal("matrix canonical edge changed")
+	}
+	// Fresh package entry check.
+	p2 := New(3)
+	back2, err := p2.ReadMatrix(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			if cmplx.Abs(MatrixEntry(back2, i, j)-MatrixEntry(u, i, j)) > 1e-12 {
+				t.Fatalf("entry (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSerializationErrors(t *testing.T) {
+	p := New(2)
+	cases := []string{
+		"",
+		"bogus header",
+		"ddvec v1 3\nroot 1,0 T\n", // qubit mismatch
+		"ddvec v1 2\nn 0 9 1,0 T 0,0 T\nroot 1,0 0\n",  // bad level
+		"ddvec v1 2\nn 0 0 1,0 T 0,0 T\n",              // missing root
+		"ddvec v1 2\nn 0 1 1,0 5 0,0 T\nroot 1,0 0\n",  // undefined child
+		"ddvec v1 2\nn 0 0 x,y T 0,0 T\nroot 1,0 0\n",  // bad weight
+		"ddvec v1 2\nwhat 1 2\n",                       // unknown record
+		"ddvec v1 2\nn 0 0 1,0 T 0,0 T\nroot 1,0 77\n", // undefined root
+	}
+	for _, src := range cases {
+		if _, err := p.ReadVector(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q accepted", src)
+		}
+	}
+	if _, err := p.ReadMatrix(strings.NewReader("ddvec v1 2\n")); err == nil {
+		t.Error("vector header accepted by matrix reader")
+	}
+}
+
+func TestSerializationMergesAcrossStates(t *testing.T) {
+	// Reading a diagram into a package that already holds parts of it
+	// must share nodes (canonicity across deserialization).
+	p := New(2)
+	bell := bellState(t, p)
+	var buf strings.Builder
+	if err := p.WriteVector(&buf, bell); err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(2)
+	other := bellState(t, p2) // independently built
+	back, err := p2.ReadVector(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != other.N {
+		t.Fatal("deserialized diagram did not merge with existing nodes")
+	}
+}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+const tol = 1e-10
+
+var (
+	h2 = Matrix{N: 2, Data: []complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}}
+	x2 = Matrix{N: 2, Data: []complex128{0, 1, 1, 0}}
+)
+
+func TestMulIdentity(t *testing.T) {
+	id := Identity(4)
+	m := NewMatrix(4)
+	for i := range m.Data {
+		m.Data[i] = complex(float64(i), float64(-i))
+	}
+	if !Equal(Mul(id, m), m, tol) || !Equal(Mul(m, id), m, tol) {
+		t.Fatal("identity is not neutral under Mul")
+	}
+}
+
+func TestMulHH(t *testing.T) {
+	if !Equal(Mul(h2, h2), Identity(2), tol) {
+		t.Fatal("H*H != I")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	v := Vector{1, 0}
+	out := MatVec(h2, v)
+	if cmplx.Abs(out[0]-complex(1/math.Sqrt2, 0)) > tol || cmplx.Abs(out[1]-complex(1/math.Sqrt2, 0)) > tol {
+		t.Fatalf("H|0> = %v", out)
+	}
+}
+
+func TestKron(t *testing.T) {
+	// H (x) I2 from Ex. 3.
+	m := Kron(h2, Identity(2))
+	want := []complex128{
+		complex(1/math.Sqrt2, 0), 0, complex(1/math.Sqrt2, 0), 0,
+		0, complex(1/math.Sqrt2, 0), 0, complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), 0, complex(-1/math.Sqrt2, 0), 0,
+		0, complex(1/math.Sqrt2, 0), 0, complex(-1/math.Sqrt2, 0),
+	}
+	if !Equal(m, Matrix{N: 4, Data: want}, tol) {
+		t.Fatalf("H kron I2 wrong: %v", m.Data)
+	}
+	out := MatVec(m, ZeroState(2))
+	if cmplx.Abs(out[0]-complex(1/math.Sqrt2, 0)) > tol || cmplx.Abs(out[2]-complex(1/math.Sqrt2, 0)) > tol {
+		t.Fatalf("(H kron I)|00> = %v, want 1/sqrt2 [1,0,1,0]", out)
+	}
+}
+
+func TestKronVec(t *testing.T) {
+	a := Vector{0, 1}    // |1>
+	b := Vector{1, 0}    // |0>
+	out := KronVec(a, b) // |10>
+	want := Vector{0, 0, 1, 0}
+	if !EqualVec(out, want, tol) {
+		t.Fatalf("|1> kron |0> = %v", out)
+	}
+}
+
+func TestIsUnitary(t *testing.T) {
+	if !IsUnitary(h2, tol) {
+		t.Fatal("H not unitary")
+	}
+	bad := Matrix{N: 2, Data: []complex128{1, 1, 0, 1}}
+	if IsUnitary(bad, tol) {
+		t.Fatal("non-unitary accepted")
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	phase := cmplx.Exp(complex(0, 0.7))
+	m := NewMatrix(2)
+	for i := range m.Data {
+		m.Data[i] = h2.Data[i] * phase
+	}
+	if !EqualUpToGlobalPhase(m, h2, tol) {
+		t.Fatal("global phase equality not detected")
+	}
+	if EqualUpToGlobalPhase(x2, h2, tol) {
+		t.Fatal("distinct matrices wrongly equal up to phase")
+	}
+}
+
+func TestApplyGateMatchesExtendGate(t *testing.T) {
+	const n = 3
+	u := [4]complex128{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)}
+	for target := 0; target < n; target++ {
+		v1 := ZeroState(n)
+		v1[5] = 0.5 // make it non-trivial (unnormalized is fine)
+		v2 := append(Vector(nil), v1...)
+		ApplyGate(v1, u, target)
+		full := ExtendGate(n, u, target, nil, nil)
+		v2 = MatVec(full, v2)
+		if !EqualVec(v1, v2, tol) {
+			t.Fatalf("target %d: in-place and full-matrix application disagree", target)
+		}
+	}
+}
+
+func TestApplyControlledGate(t *testing.T) {
+	const n = 3
+	u := [4]complex128{0, 1, 1, 0} // X
+	// CX with control 2, target 0 on |100>: control bit set -> |101>.
+	v := make(Vector, 8)
+	v[4] = 1
+	ApplyControlledGate(v, u, 0, []int{2}, nil)
+	if cmplx.Abs(v[5]-1) > tol {
+		t.Fatalf("controlled apply wrong: %v", v)
+	}
+	// Negative control on |000>: fires -> |001>.
+	v = make(Vector, 8)
+	v[0] = 1
+	ApplyControlledGate(v, u, 0, nil, []int{2})
+	if cmplx.Abs(v[1]-1) > tol {
+		t.Fatalf("negative-controlled apply wrong: %v", v)
+	}
+	full := ExtendGate(n, u, 0, []int{2}, nil)
+	if !IsUnitary(full, tol) {
+		t.Fatal("extended controlled gate not unitary")
+	}
+}
+
+func TestQFTMatrix(t *testing.T) {
+	// Fig. 5(c): the 8x8 QFT with ω = e^{iπ/4}; check a few entries.
+	m := QFTMatrix(3)
+	if !IsUnitary(m, tol) {
+		t.Fatal("QFT matrix not unitary")
+	}
+	s := 1 / math.Sqrt(8)
+	omega := cmplx.Exp(complex(0, math.Pi/4))
+	if cmplx.Abs(m.At(0, 0)-complex(s, 0)) > tol {
+		t.Fatalf("QFT[0][0] = %v", m.At(0, 0))
+	}
+	if cmplx.Abs(m.At(1, 1)-complex(s, 0)*omega) > tol {
+		t.Fatalf("QFT[1][1] = %v, want s*omega", m.At(1, 1))
+	}
+	if cmplx.Abs(m.At(3, 3)-complex(s, 0)*omega) > tol {
+		// row 3: [1, ω3, ω6, ω, ω4, ω7, ω2, ω5] → entry (3,3) = ω^9 = ω
+		t.Fatalf("QFT[3][3] = %v, want s*omega (Fig. 5(c) row pattern)", m.At(3, 3))
+	}
+}
+
+func TestNorm(t *testing.T) {
+	v := Vector{complex(3, 0), complex(0, 4)}
+	if math.Abs(Norm(v)-5) > tol {
+		t.Fatalf("norm = %v, want 5", Norm(v))
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mul", func() { Mul(Identity(2), Identity(4)) })
+	mustPanic("matvec", func() { MatVec(Identity(2), make(Vector, 4)) })
+}

@@ -1,0 +1,235 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// expr is a parameter expression AST evaluated against the formal
+// parameters of a gate macro (empty environment at top level).
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (e numExpr) eval(map[string]float64) (float64, error) { return float64(e), nil }
+
+type piExpr struct{}
+
+func (piExpr) eval(map[string]float64) (float64, error) { return math.Pi, nil }
+
+type varExpr struct {
+	name      string
+	line, col int
+}
+
+func (e varExpr) eval(env map[string]float64) (float64, error) {
+	if v, ok := env[e.name]; ok {
+		return v, nil
+	}
+	return 0, &Error{Line: e.line, Col: e.col, Msg: fmt.Sprintf("unknown parameter %q", e.name)}
+}
+
+type unaryExpr struct {
+	op rune // '-'
+	x  expr
+}
+
+func (e unaryExpr) eval(env map[string]float64) (float64, error) {
+	v, err := e.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return -v, nil
+}
+
+type binExpr struct {
+	op        rune // '+', '-', '*', '/', '^'
+	l, r      expr
+	line, col int
+}
+
+func (e binExpr) eval(env map[string]float64) (float64, error) {
+	a, err := e.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	b, err := e.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case '+':
+		return a + b, nil
+	case '-':
+		return a - b, nil
+	case '*':
+		return a * b, nil
+	case '/':
+		if b == 0 {
+			return 0, &Error{Line: e.line, Col: e.col, Msg: "division by zero in parameter expression"}
+		}
+		return a / b, nil
+	case '^':
+		return math.Pow(a, b), nil
+	}
+	return 0, &Error{Line: e.line, Col: e.col, Msg: fmt.Sprintf("unknown operator %q", e.op)}
+}
+
+type callExpr struct {
+	fn        string
+	arg       expr
+	line, col int
+}
+
+func (e callExpr) eval(env map[string]float64) (float64, error) {
+	v, err := e.arg.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.fn {
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		if v <= 0 {
+			return 0, &Error{Line: e.line, Col: e.col, Msg: "ln of non-positive value"}
+		}
+		return math.Log(v), nil
+	case "sqrt":
+		if v < 0 {
+			return 0, &Error{Line: e.line, Col: e.col, Msg: "sqrt of negative value"}
+		}
+		return math.Sqrt(v), nil
+	}
+	return 0, &Error{Line: e.line, Col: e.col, Msg: fmt.Sprintf("unknown function %q", e.fn)}
+}
+
+// Expression grammar (OpenQASM 2.0 §A.2):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | pow
+//	pow    := primary ('^' unary)?
+//	primary:= number | 'pi' | ident | ident '(' expr ')' | '(' expr ')'
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := '+'
+		if t.kind == tokMinus {
+			op = '-'
+		}
+		l = binExpr{op: op, l: l, r: r, line: t.line, col: t.col}
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokStar && t.kind != tokSlash {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := '*'
+		if t.kind == tokSlash {
+			op = '/'
+		}
+		l = binExpr{op: op, l: l, r: r, line: t.line, col: t.col}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if t := p.peek(); t.kind == tokMinus {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: '-', x: x}, nil
+	}
+	return p.parsePow()
+}
+
+func (p *parser) parsePow() (expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokCaret {
+		p.advance()
+		exp, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: '^', l: base, r: exp, line: t.line, col: t.col}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("malformed number %q", t.text)}
+		}
+		return numExpr(v), nil
+	case tokIdent:
+		p.advance()
+		if t.text == "pi" {
+			return piExpr{}, nil
+		}
+		if p.peek().kind == tokLParen {
+			p.advance()
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return callExpr{fn: t.text, arg: arg, line: t.line, col: t.col}, nil
+		}
+		return varExpr{name: t.text, line: t.line, col: t.col}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected expression, found %s", t.kind)}
+}

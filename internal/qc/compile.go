@@ -1,0 +1,113 @@
+package qc
+
+// Compilation to a restricted gate set. The paper's verification
+// running example (Fig. 5) contrasts an abstract QFT — containing
+// controlled phase gates and a SWAP, which "are not native to any
+// current quantum computer" — with a compiled version built from
+// single-qubit phase/Hadamard gates and CNOTs. CompileNative performs
+// exactly these textbook decompositions:
+//
+//	CP(θ) c,t  →  P(θ/2) c;  CX c,t;  P(-θ/2) t;  CX c,t;  P(θ/2) t
+//	SWAP a,b   →  CX a,b;  CX b,a;  CX a,b
+//
+// and emits a barrier after each decomposed source gate, reproducing
+// the dashed synchronization lines of Fig. 5(b) that the alternating
+// verification scheme of Ex. 12 steps between.
+
+import "fmt"
+
+// CompileOptions controls the CompileNative pass.
+type CompileOptions struct {
+	// EmitBarriers inserts a barrier after the lowering of each source
+	// gate, as in Fig. 5(b). The barriers partition the compiled
+	// circuit into groups that correspond 1:1 to the abstract gates,
+	// which is what lets the verification walk of Ex. 12 apply "one
+	// gate from Fig. 5(a), then all gates from Fig. 5(b) up to the
+	// next barrier" and stay close to the identity.
+	EmitBarriers bool
+}
+
+// CompileNative lowers controlled-phase and swap gates to the
+// {1q gates, CX} native set. Other gates pass through unchanged.
+// Gates with more than one control or with negative controls are
+// rejected — they are outside the scope of this teaching pass.
+func CompileNative(c *Circuit, opts CompileOptions) (*Circuit, error) {
+	out := New(c.NQubits, c.NClbits)
+	out.Name = c.Name + "_compiled"
+	for i := range c.Ops {
+		op := c.Ops[i]
+		if _, err := compileOp(out, op); err != nil {
+			return nil, fmt.Errorf("qc: op %d (%s): %w", i, op.String(), err)
+		}
+		if opts.EmitBarriers && op.Kind == KindGate {
+			out.Barrier()
+		}
+	}
+	return out, nil
+}
+
+// compileOp appends the lowering of op to out and reports whether the
+// op was actually expanded (vs. copied through).
+func compileOp(out *Circuit, op Op) (bool, error) {
+	if op.Kind != KindGate {
+		out.Append(op)
+		return false, nil
+	}
+	for _, ctl := range op.Controls {
+		if ctl.Neg {
+			return false, fmt.Errorf("negative controls are not supported by CompileNative")
+		}
+	}
+	switch {
+	case op.Gate == Swap && len(op.Controls) == 0:
+		a, b := op.Targets[0], op.Targets[1]
+		out.CX(a, b).CX(b, a).CX(a, b)
+		return true, nil
+	case op.Gate == Swap:
+		return false, fmt.Errorf("controlled swap lowering not supported")
+	case len(op.Controls) == 0:
+		out.Append(op)
+		return false, nil
+	case len(op.Controls) > 1:
+		return false, fmt.Errorf("multi-controlled gates not supported by CompileNative")
+	}
+	ctl := op.Controls[0].Qubit
+	tgt := op.Targets[0]
+	switch op.Gate {
+	case X:
+		// CX is native.
+		out.Append(op)
+		return false, nil
+	case P, S, Sdg, T, Tdg, Z:
+		theta := phaseAngle(op.Gate, op.Params)
+		out.Phase(theta/2, ctl)
+		out.CX(ctl, tgt)
+		out.Phase(-theta/2, tgt)
+		out.CX(ctl, tgt)
+		out.Phase(theta/2, tgt)
+		return true, nil
+	default:
+		return false, fmt.Errorf("controlled %v lowering not supported", op.Gate)
+	}
+}
+
+// phaseAngle maps diagonal phase-type gates onto their P(θ) angle.
+func phaseAngle(g Gate, params []float64) float64 {
+	switch g {
+	case P:
+		return params[0]
+	case Z:
+		return pi
+	case S:
+		return pi / 2
+	case Sdg:
+		return -pi / 2
+	case T:
+		return pi / 4
+	case Tdg:
+		return -pi / 4
+	}
+	panic(fmt.Sprintf("qc: gate %v is not a phase gate", g))
+}
+
+const pi = 3.14159265358979323846264338327950288

@@ -1,0 +1,130 @@
+package qc
+
+import "fmt"
+
+// Composition helpers: concatenation, powers, and qubit remapping —
+// the building blocks of compilation flows (the paper's Sec. III-C
+// lists "compilation, synthesis, transpilation, mapping" as the steps
+// whose results need verification).
+
+// AppendCircuit appends all operations of other to c. Register widths
+// must be compatible (other may be narrower; its indices are used
+// as-is).
+func (c *Circuit) AppendCircuit(other *Circuit) error {
+	if other.NQubits > c.NQubits || other.NClbits > c.NClbits {
+		return fmt.Errorf("qc: cannot append %d-qubit/%d-clbit circuit onto %d/%d",
+			other.NQubits, other.NClbits, c.NQubits, c.NClbits)
+	}
+	for i := range other.Ops {
+		c.Append(other.Ops[i])
+	}
+	return nil
+}
+
+// Power returns the circuit repeated n times (n ≥ 0). For unitary
+// circuits this realizes U^n; circuits with measurements repeat their
+// measurements too.
+func (c *Circuit) Power(n int) (*Circuit, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("qc: negative power %d", n)
+	}
+	out := New(c.NQubits, c.NClbits)
+	out.Name = fmt.Sprintf("%s_pow%d", c.Name, n)
+	for i := 0; i < n; i++ {
+		if err := out.AppendCircuit(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Remap returns a copy of the circuit with qubits renamed according to
+// perm: the gate that acted on qubit q now acts on perm[q]. perm must
+// be a permutation of 0..NQubits-1. This models the "mapping" step of
+// compilation flows, where logical qubits are placed onto physical
+// ones.
+func (c *Circuit) Remap(perm []int) (*Circuit, error) {
+	if len(perm) != c.NQubits {
+		return nil, fmt.Errorf("qc: permutation has %d entries, want %d", len(perm), c.NQubits)
+	}
+	seen := make([]bool, c.NQubits)
+	for _, p := range perm {
+		if p < 0 || p >= c.NQubits || seen[p] {
+			return nil, fmt.Errorf("qc: %v is not a permutation of 0..%d", perm, c.NQubits-1)
+		}
+		seen[p] = true
+	}
+	out := New(c.NQubits, c.NClbits)
+	out.Name = c.Name + "_mapped"
+	for i := range c.Ops {
+		op := c.Ops[i]
+		op.Targets = append([]int(nil), op.Targets...)
+		for j, t := range op.Targets {
+			op.Targets[j] = perm[t]
+		}
+		op.Controls = append([]Control(nil), op.Controls...)
+		for j, ctl := range op.Controls {
+			op.Controls[j] = Control{Qubit: perm[ctl.Qubit], Neg: ctl.Neg}
+		}
+		op.Params = append([]float64(nil), op.Params...)
+		if op.Cond != nil {
+			cond := *op.Cond
+			cond.Bits = append([]int(nil), cond.Bits...)
+			op.Cond = &cond
+		}
+		out.Append(op)
+	}
+	return out, nil
+}
+
+// PermutationCircuit builds a circuit of SWAP gates realizing the
+// given qubit permutation (|q⟩ on wire i moves to wire perm[i]) — the
+// bridge that makes a mapped circuit globally equivalent to the
+// original: perm⁻¹ ∘ mapped ∘ perm == original.
+func PermutationCircuit(perm []int) (*Circuit, error) {
+	n := len(perm)
+	if n == 0 {
+		return nil, fmt.Errorf("qc: empty permutation")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("qc: %v is not a permutation", perm)
+		}
+		seen[p] = true
+	}
+	c := New(n, 0)
+	c.Name = "permutation"
+	// Decompose into transpositions by cycle-walking a working copy.
+	cur := make([]int, n) // cur[i] = value currently on wire i
+	for i := range cur {
+		cur[i] = i
+	}
+	pos := make([]int, n) // pos[v] = wire currently holding v
+	for i, v := range cur {
+		pos[v] = i
+	}
+	for wire := 0; wire < n; wire++ {
+		want := inversePermValue(perm, wire)
+		// Wire `wire` must end up holding the value v with perm[v] == wire.
+		if cur[wire] == want {
+			continue
+		}
+		src := pos[want]
+		c.SwapGate(wire, src)
+		// Update bookkeeping.
+		cur[wire], cur[src] = cur[src], cur[wire]
+		pos[cur[wire]] = wire
+		pos[cur[src]] = src
+	}
+	return c, nil
+}
+
+func inversePermValue(perm []int, target int) int {
+	for v, p := range perm {
+		if p == target {
+			return v
+		}
+	}
+	return -1
+}

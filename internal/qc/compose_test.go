@@ -1,0 +1,108 @@
+package qc
+
+import (
+	"testing"
+
+	"quantumdd/internal/linalg"
+)
+
+func TestAppendCircuitAndPower(t *testing.T) {
+	a := New(2, 0)
+	a.H(0)
+	b := New(2, 0)
+	b.CX(0, 1)
+	if err := a.AppendCircuit(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != 2 {
+		t.Fatalf("append lost ops: %d gates", a.NumGates())
+	}
+	// X^2 = I.
+	x := New(1, 0)
+	x.X(0)
+	sq, err := x.Power(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := denseFunctionality(t, sq)
+	if !linalg.Equal(u, linalg.Identity(2), 1e-9) {
+		t.Fatal("X^2 != I")
+	}
+	if _, err := x.Power(-1); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	wide := New(3, 0)
+	if err := a.AppendCircuit(wide); err == nil {
+		t.Fatal("wider circuit appended")
+	}
+}
+
+func TestRemapValidation(t *testing.T) {
+	c := New(3, 0)
+	c.CX(0, 2)
+	if _, err := c.Remap([]int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := c.Remap([]int{0, 0, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	m, err := c.Remap([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.Ops[0]
+	if op.Controls[0].Qubit != 2 || op.Targets[0] != 0 {
+		t.Fatalf("remap wrong: %s", op.String())
+	}
+	// Deep copy: mutating the remapped op must not touch the original.
+	m.Ops[0].Targets[0] = 1
+	if c.Ops[0].Targets[0] != 2 {
+		t.Fatal("remap shares target slices")
+	}
+}
+
+func TestPermutationCircuit(t *testing.T) {
+	perm := []int{2, 0, 1} // value on wire 0 goes to wire 2, etc.
+	pc, err := PermutationCircuit(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := denseFunctionality(t, pc)
+	// Check action on basis states: bit b_i of the input appears at
+	// position perm[i] of the output.
+	for in := 0; in < 8; in++ {
+		want := 0
+		for i := 0; i < 3; i++ {
+			if in>>uint(i)&1 == 1 {
+				want |= 1 << uint(perm[i])
+			}
+		}
+		found := false
+		for out := 0; out < 8; out++ {
+			v := u.At(out, in)
+			if real(v) > 0.5 {
+				if out != want {
+					t.Fatalf("perm %v maps |%03b> to |%03b>, want |%03b>", perm, in, out, want)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("input %03b lost", in)
+		}
+	}
+	if _, err := PermutationCircuit([]int{0, 0}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := PermutationCircuit(nil); err == nil {
+		t.Fatal("empty permutation accepted")
+	}
+	// Identity permutation produces no gates.
+	id, err := PermutationCircuit([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.NumGates() != 0 {
+		t.Fatalf("identity permutation has %d gates", id.NumGates())
+	}
+}

@@ -1,0 +1,164 @@
+// Package qc defines the quantum-circuit intermediate representation
+// shared by the front ends (OpenQASM, RevLib .real), the simulation
+// engine, the equivalence checker, and the visualization tool.
+//
+// A Circuit is a straight-line sequence of operations over a qubit
+// register and a classical bit register, matching the expressiveness
+// of the paper's tool: unitary gates (with positive/negative
+// controls), plus the special operations barrier, measure, reset, and
+// classically-controlled gates (Sec. IV-B).
+package qc
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Gate enumerates the supported elementary gate kinds. All gates are
+// single-qubit unitaries (possibly parameterized) except Swap, which
+// is the only native two-target gate; multi-qubit behaviour otherwise
+// comes from control lines.
+type Gate int
+
+const (
+	// GateNone marks non-gate operations (barrier, measure, reset).
+	GateNone Gate = iota
+	I             // identity
+	X             // Pauli-X (NOT; the ⊕ of circuit diagrams)
+	Y             // Pauli-Y
+	Z             // Pauli-Z
+	H             // Hadamard
+	S             // phase S = P(π/2)
+	Sdg           // S†
+	T             // T = P(π/4)
+	Tdg           // T†
+	V             // V = √X
+	Vdg           // V†
+	SX            // sqrt-X with global phase convention of OpenQASM
+	SXdg          // SX†
+	P             // phase gate P(θ) = diag(1, e^{iθ})
+	RX            // rotation e^{-iθX/2}
+	RY            // rotation e^{-iθY/2}
+	RZ            // rotation e^{-iθZ/2}
+	U             // generic U(θ,φ,λ) of OpenQASM
+	Swap          // SWAP of two targets (the × — × of Fig. 5(a))
+)
+
+var gateNames = map[Gate]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg",
+	T: "t", Tdg: "tdg", V: "v", Vdg: "vdg", SX: "sx", SXdg: "sxdg",
+	P: "p", RX: "rx", RY: "ry", RZ: "rz", U: "u", Swap: "swap",
+}
+
+// String returns the lower-case OpenQASM-style name of the gate.
+func (g Gate) String() string {
+	if s, ok := gateNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("gate(%d)", int(g))
+}
+
+// ParamCount reports how many angle parameters the gate takes.
+func (g Gate) ParamCount() int {
+	switch g {
+	case P, RX, RY, RZ:
+		return 1
+	case U:
+		return 3
+	default:
+		return 0
+	}
+}
+
+const sqrtHalf = 0.70710678118654752440084436210484903928
+
+// Matrix2 returns the 2×2 unitary of a single-qubit gate in row-major
+// order [U00, U01, U10, U11]. It panics for Swap and GateNone.
+func Matrix2(g Gate, params []float64) [4]complex128 {
+	switch g {
+	case I:
+		return [4]complex128{1, 0, 0, 1}
+	case X:
+		return [4]complex128{0, 1, 1, 0}
+	case Y:
+		return [4]complex128{0, complex(0, -1), complex(0, 1), 0}
+	case Z:
+		return [4]complex128{1, 0, 0, -1}
+	case H:
+		return [4]complex128{complex(sqrtHalf, 0), complex(sqrtHalf, 0), complex(sqrtHalf, 0), complex(-sqrtHalf, 0)}
+	case S:
+		return [4]complex128{1, 0, 0, complex(0, 1)}
+	case Sdg:
+		return [4]complex128{1, 0, 0, complex(0, -1)}
+	case T:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}
+	case Tdg:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, -math.Pi/4))}
+	case V:
+		// V = (1/2)[[1+i, 1-i],[1-i, 1+i]], V·V = X
+		return [4]complex128{complex(0.5, 0.5), complex(0.5, -0.5), complex(0.5, -0.5), complex(0.5, 0.5)}
+	case Vdg:
+		return [4]complex128{complex(0.5, -0.5), complex(0.5, 0.5), complex(0.5, 0.5), complex(0.5, -0.5)}
+	case SX:
+		return [4]complex128{complex(0.5, 0.5), complex(0.5, -0.5), complex(0.5, -0.5), complex(0.5, 0.5)}
+	case SXdg:
+		return [4]complex128{complex(0.5, -0.5), complex(0.5, 0.5), complex(0.5, 0.5), complex(0.5, -0.5)}
+	case P:
+		return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, params[0]))}
+	case RX:
+		c := complex(math.Cos(params[0]/2), 0)
+		s := complex(0, -math.Sin(params[0]/2))
+		return [4]complex128{c, s, s, c}
+	case RY:
+		c := complex(math.Cos(params[0]/2), 0)
+		s := math.Sin(params[0] / 2)
+		return [4]complex128{c, complex(-s, 0), complex(s, 0), c}
+	case RZ:
+		return [4]complex128{cmplx.Exp(complex(0, -params[0]/2)), 0, 0, cmplx.Exp(complex(0, params[0]/2))}
+	case U:
+		theta, phi, lambda := params[0], params[1], params[2]
+		c := math.Cos(theta / 2)
+		s := math.Sin(theta / 2)
+		return [4]complex128{
+			complex(c, 0),
+			-cmplx.Exp(complex(0, lambda)) * complex(s, 0),
+			cmplx.Exp(complex(0, phi)) * complex(s, 0),
+			cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0),
+		}
+	default:
+		panic(fmt.Sprintf("qc: gate %v has no 2x2 matrix", g))
+	}
+}
+
+// InverseGate returns the gate and parameters realizing the adjoint of
+// g(params). Every supported gate has a closed-form inverse.
+func InverseGate(g Gate, params []float64) (Gate, []float64) {
+	switch g {
+	case I, X, Y, Z, H, Swap:
+		return g, nil
+	case S:
+		return Sdg, nil
+	case Sdg:
+		return S, nil
+	case T:
+		return Tdg, nil
+	case Tdg:
+		return T, nil
+	case V:
+		return Vdg, nil
+	case Vdg:
+		return V, nil
+	case SX:
+		return SXdg, nil
+	case SXdg:
+		return SX, nil
+	case P, RX, RY, RZ:
+		return g, []float64{-params[0]}
+	case U:
+		// U(θ,φ,λ)† = U(-θ,-λ,-φ)
+		return U, []float64{-params[0], -params[2], -params[1]}
+	default:
+		panic(fmt.Sprintf("qc: gate %v has no inverse", g))
+	}
+}

@@ -1,0 +1,198 @@
+package qc
+
+// Optimize performs simple peephole optimizations on a circuit — the
+// kind of rewriting whose correctness DD-based equivalence checking is
+// meant to certify (Sec. III-C motivates verification with exactly
+// such compilation/optimization flows):
+//
+//   - adjacent self-inverse gates on identical operands cancel
+//     (X·X = H·H = CX·CX = SWAP·SWAP = I, …),
+//   - adjacent inverse pairs cancel (S·S† = T·T† = V·V† = I,
+//     P(θ)·P(−θ) = I, …),
+//   - adjacent phase-family gates on the same operands merge into one
+//     P gate (T·S = P(3π/4)), and rotations of the same axis add,
+//   - gates that became P(0)/R(0) after merging are dropped.
+//
+// The pass iterates to a fixed point. Barriers, measurements, resets
+// and classically-controlled gates are optimization fences.
+
+import "math"
+
+// Optimize returns an optimized copy of the circuit and the number of
+// gates removed.
+func Optimize(c *Circuit) (*Circuit, int) {
+	ops := append([]Op(nil), c.Ops...)
+	removedTotal := 0
+	for {
+		next, removed := optimizePass(ops)
+		removedTotal += removed
+		ops = next
+		if removed == 0 {
+			break
+		}
+	}
+	out := New(c.NQubits, c.NClbits)
+	out.Name = c.Name + "_opt"
+	out.Ops = ops
+	return out, removedTotal
+}
+
+func optimizePass(ops []Op) ([]Op, int) {
+	var out []Op
+	removed := 0
+	for i := 0; i < len(ops); i++ {
+		op := ops[i]
+		if len(out) == 0 || !mergeable(&out[len(out)-1], &op) {
+			out = append(out, op)
+			continue
+		}
+		prev := &out[len(out)-1]
+		switch {
+		case cancels(prev, &op):
+			out = out[:len(out)-1]
+			removed += 2
+		case mergesToPhase(prev, &op):
+			theta := phaseOf(prev) + phaseOf(&op)
+			theta = normalizeAngle(theta)
+			out = out[:len(out)-1]
+			removed++
+			if math.Abs(theta) > 1e-12 {
+				merged := Op{Kind: KindGate, Gate: P, Params: []float64{theta},
+					Targets:  append([]int(nil), op.Targets...),
+					Controls: append([]Control(nil), op.Controls...)}
+				out = append(out, merged)
+			} else {
+				removed++ // both gates gone
+			}
+		case mergesRotation(prev, &op):
+			theta := prev.Params[0] + op.Params[0]
+			gate := prev.Gate
+			out = out[:len(out)-1]
+			removed++
+			if math.Abs(math.Mod(theta, 4*math.Pi)) > 1e-12 {
+				merged := Op{Kind: KindGate, Gate: gate, Params: []float64{theta},
+					Targets:  append([]int(nil), op.Targets...),
+					Controls: append([]Control(nil), op.Controls...)}
+				out = append(out, merged)
+			} else {
+				removed++
+			}
+		default:
+			out = append(out, op)
+		}
+	}
+	return out, removed
+}
+
+// mergeable reports whether two consecutive ops act on identical
+// operands and are plain unitary gates.
+func mergeable(a, b *Op) bool {
+	if a.Kind != KindGate || b.Kind != KindGate || a.Cond != nil || b.Cond != nil {
+		return false
+	}
+	if len(a.Targets) != len(b.Targets) || len(a.Controls) != len(b.Controls) {
+		return false
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return false
+		}
+	}
+	// Controls as sets (order-insensitive).
+	ctl := map[Control]int{}
+	for _, c := range a.Controls {
+		ctl[c]++
+	}
+	for _, c := range b.Controls {
+		if ctl[c] == 0 {
+			return false
+		}
+		ctl[c]--
+	}
+	return true
+}
+
+// selfInverse lists the involutory gates.
+func selfInverse(g Gate) bool {
+	switch g {
+	case I, X, Y, Z, H, Swap:
+		return true
+	}
+	return false
+}
+
+// inversePairs maps each gate onto its named inverse.
+var inversePairs = map[Gate]Gate{
+	S: Sdg, Sdg: S, T: Tdg, Tdg: T, V: Vdg, Vdg: V, SX: SXdg, SXdg: SX,
+}
+
+func cancels(a, b *Op) bool {
+	if selfInverse(a.Gate) && a.Gate == b.Gate {
+		return true
+	}
+	if inversePairs[a.Gate] == b.Gate && b.Gate != GateNone {
+		return true
+	}
+	// Parameterized inverses: P(θ)·P(−θ), R(θ)·R(−θ).
+	switch a.Gate {
+	case P, RX, RY, RZ:
+		if a.Gate == b.Gate && math.Abs(normalizeAngle(a.Params[0]+b.Params[0])) < 1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// phaseFamily reports whether g is diagonal diag(1, e^{iθ}).
+func phaseFamily(g Gate) bool {
+	switch g {
+	case Z, S, Sdg, T, Tdg, P:
+		return true
+	}
+	return false
+}
+
+func phaseOf(o *Op) float64 {
+	switch o.Gate {
+	case Z:
+		return math.Pi
+	case S:
+		return math.Pi / 2
+	case Sdg:
+		return -math.Pi / 2
+	case T:
+		return math.Pi / 4
+	case Tdg:
+		return -math.Pi / 4
+	case P:
+		return o.Params[0]
+	}
+	panic("qc: not a phase gate")
+}
+
+func mergesToPhase(a, b *Op) bool {
+	return phaseFamily(a.Gate) && phaseFamily(b.Gate)
+}
+
+func mergesRotation(a, b *Op) bool {
+	if a.Gate != b.Gate {
+		return false
+	}
+	switch a.Gate {
+	case RX, RY, RZ:
+		return true
+	}
+	return false
+}
+
+// normalizeAngle maps an angle into (-π, π] modulo 2π.
+func normalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	if theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

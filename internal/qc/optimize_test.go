@@ -1,0 +1,143 @@
+package qc
+
+import (
+	"math"
+	"testing"
+
+	"quantumdd/internal/linalg"
+)
+
+func TestOptimizeCancelsSelfInverse(t *testing.T) {
+	c := New(2, 0)
+	c.H(0).H(0).X(1).X(1).CX(0, 1).CX(0, 1).SwapGate(0, 1).SwapGate(0, 1)
+	opt, removed := Optimize(c)
+	if opt.NumGates() != 0 {
+		t.Fatalf("%d gates survive, want 0:\n%s", opt.NumGates(), opt.String())
+	}
+	if removed != 8 {
+		t.Fatalf("removed = %d, want 8", removed)
+	}
+}
+
+func TestOptimizeCancelsInversePairs(t *testing.T) {
+	c := New(1, 0)
+	c.S(0).Gate(Sdg, nil, 0)
+	c.T(0).Gate(Tdg, nil, 0)
+	c.Phase(0.7, 0).Phase(-0.7, 0)
+	c.Gate(RX, []float64{1.1}, 0).Gate(RX, []float64{-1.1}, 0)
+	opt, _ := Optimize(c)
+	if opt.NumGates() != 0 {
+		t.Fatalf("%d gates survive, want 0:\n%s", opt.NumGates(), opt.String())
+	}
+}
+
+func TestOptimizeMergesPhases(t *testing.T) {
+	// T·S = P(3π/4).
+	c := New(1, 0)
+	c.T(0).S(0)
+	opt, _ := Optimize(c)
+	if opt.NumGates() != 1 {
+		t.Fatalf("%d gates, want 1 merged phase", opt.NumGates())
+	}
+	op := opt.Ops[0]
+	if op.Gate != P || math.Abs(op.Params[0]-3*math.Pi/4) > 1e-12 {
+		t.Fatalf("merged gate wrong: %s", op.String())
+	}
+	// S·S·S·S = Z·Z = I: chains collapse entirely.
+	c2 := New(1, 0)
+	c2.S(0).S(0).S(0).S(0)
+	opt2, _ := Optimize(c2)
+	if opt2.NumGates() != 0 {
+		t.Fatalf("S^4 did not cancel: %s", opt2.String())
+	}
+}
+
+func TestOptimizeMergesRotations(t *testing.T) {
+	c := New(1, 0)
+	c.Gate(RY, []float64{0.4}, 0).Gate(RY, []float64{0.6}, 0)
+	opt, _ := Optimize(c)
+	if opt.NumGates() != 1 || math.Abs(opt.Ops[0].Params[0]-1.0) > 1e-12 {
+		t.Fatalf("RY merge wrong: %s", opt.String())
+	}
+}
+
+func TestOptimizeRespectsOperands(t *testing.T) {
+	// Same gates on different qubits must not cancel.
+	c := New(2, 0)
+	c.H(0).H(1)
+	opt, removed := Optimize(c)
+	if removed != 0 || opt.NumGates() != 2 {
+		t.Fatalf("cross-qubit cancellation: %s", opt.String())
+	}
+	// CX with swapped roles must not cancel.
+	c2 := New(2, 0)
+	c2.CX(0, 1).CX(1, 0)
+	if _, removed := Optimize(c2); removed != 0 {
+		t.Fatal("CX(0,1)·CX(1,0) wrongly cancelled")
+	}
+	// Controlled-P merges only with matching control sets.
+	c3 := New(2, 0)
+	c3.Phase(0.3, 1, Control{Qubit: 0}).Phase(0.4, 1, Control{Qubit: 0})
+	opt3, _ := Optimize(c3)
+	if opt3.NumGates() != 1 || len(opt3.Ops[0].Controls) != 1 {
+		t.Fatalf("controlled phase merge wrong: %s", opt3.String())
+	}
+}
+
+func TestOptimizeFences(t *testing.T) {
+	// Barriers, measurements and conditions block cancellation.
+	c := New(1, 1)
+	c.H(0).Barrier().H(0)
+	if _, removed := Optimize(c); removed != 0 {
+		t.Fatal("cancellation across a barrier")
+	}
+	c2 := New(1, 1)
+	c2.H(0).Measure(0, 0)
+	c2.H(0)
+	if _, removed := Optimize(c2); removed != 0 {
+		t.Fatal("cancellation across a measurement")
+	}
+	c3 := New(1, 1)
+	c3.GateIf(X, nil, 0, []int{0}, 1)
+	c3.GateIf(X, nil, 0, []int{0}, 1)
+	if _, removed := Optimize(c3); removed != 0 {
+		t.Fatal("conditional gates wrongly cancelled")
+	}
+}
+
+func TestOptimizePreservesFunctionality(t *testing.T) {
+	// A redundant circuit must stay functionally identical (dense
+	// check; the DD-based check lives in the verify tests).
+	c := New(2, 0)
+	c.H(0).T(0).T(0).Gate(Sdg, nil, 0).H(0) // T·T·S† = I between the Hs
+	c.CX(0, 1).X(0).X(0).CX(0, 1)
+	opt, removed := Optimize(c)
+	if removed == 0 {
+		t.Fatal("nothing optimized")
+	}
+	before := denseFunctionality(t, c)
+	after := denseFunctionality(t, opt)
+	if !linalg.EqualUpToGlobalPhase(after, before, 1e-9) {
+		t.Fatal("optimization changed the functionality")
+	}
+	if opt.NumGates() >= c.NumGates() {
+		t.Fatalf("no shrink: %d -> %d", c.NumGates(), opt.NumGates())
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := map[float64]float64{
+		0:               0,
+		math.Pi:         math.Pi,
+		-math.Pi:        math.Pi,
+		3 * math.Pi:     math.Pi,
+		2 * math.Pi:     0,
+		-math.Pi / 2:    -math.Pi / 2,
+		5 * math.Pi / 2: math.Pi / 2,
+	}
+	for in, want := range cases {
+		if got := normalizeAngle(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("normalizeAngle(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

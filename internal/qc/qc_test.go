@@ -1,0 +1,288 @@
+package qc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quantumdd/internal/linalg"
+)
+
+const tol = 1e-10
+
+func toMatrix(u [4]complex128) linalg.Matrix {
+	return linalg.Matrix{N: 2, Data: []complex128{u[0], u[1], u[2], u[3]}}
+}
+
+func TestAllGateMatricesUnitary(t *testing.T) {
+	gates := []struct {
+		g      Gate
+		params []float64
+	}{
+		{I, nil}, {X, nil}, {Y, nil}, {Z, nil}, {H, nil}, {S, nil}, {Sdg, nil},
+		{T, nil}, {Tdg, nil}, {V, nil}, {Vdg, nil}, {SX, nil}, {SXdg, nil},
+		{P, []float64{0.3}}, {RX, []float64{1.1}}, {RY, []float64{2.2}}, {RZ, []float64{-0.7}},
+		{U, []float64{1.0, 0.5, -0.3}},
+	}
+	for _, g := range gates {
+		m := toMatrix(Matrix2(g.g, g.params))
+		if !linalg.IsUnitary(m, tol) {
+			t.Errorf("gate %v is not unitary", g.g)
+		}
+	}
+}
+
+func TestGateAlgebraicIdentities(t *testing.T) {
+	mul := func(a, b [4]complex128) linalg.Matrix { return linalg.Mul(toMatrix(a), toMatrix(b)) }
+	id := linalg.Identity(2)
+	// S·S = Z, T·T = S, V·V = X, H·H = I.
+	if !linalg.Equal(mul(Matrix2(S, nil), Matrix2(S, nil)), toMatrix(Matrix2(Z, nil)), tol) {
+		t.Error("S*S != Z")
+	}
+	if !linalg.Equal(mul(Matrix2(T, nil), Matrix2(T, nil)), toMatrix(Matrix2(S, nil)), tol) {
+		t.Error("T*T != S")
+	}
+	if !linalg.Equal(mul(Matrix2(V, nil), Matrix2(V, nil)), toMatrix(Matrix2(X, nil)), tol) {
+		t.Error("V*V != X")
+	}
+	if !linalg.Equal(mul(Matrix2(H, nil), Matrix2(H, nil)), id, tol) {
+		t.Error("H*H != I")
+	}
+	// P(π/2) = S, P(π/4) = T (the paper's Ex. 10 notation).
+	if !linalg.Equal(toMatrix(Matrix2(P, []float64{math.Pi / 2})), toMatrix(Matrix2(S, nil)), tol) {
+		t.Error("P(π/2) != S")
+	}
+	if !linalg.Equal(toMatrix(Matrix2(P, []float64{math.Pi / 4})), toMatrix(Matrix2(T, nil)), tol) {
+		t.Error("P(π/4) != T")
+	}
+	// U(θ,φ,λ) reduces to RY(θ) at φ=λ=0.
+	if !linalg.Equal(toMatrix(Matrix2(U, []float64{1.3, 0, 0})), toMatrix(Matrix2(RY, []float64{1.3})), tol) {
+		t.Error("U(θ,0,0) != RY(θ)")
+	}
+	// RZ differs from P by a global phase only.
+	if !linalg.EqualUpToGlobalPhase(toMatrix(Matrix2(RZ, []float64{0.9})), toMatrix(Matrix2(P, []float64{0.9})), tol) {
+		t.Error("RZ(θ) not equal to P(θ) up to phase")
+	}
+}
+
+func TestInverseGateIsAdjoint(t *testing.T) {
+	gates := []struct {
+		g      Gate
+		params []float64
+	}{
+		{X, nil}, {Y, nil}, {Z, nil}, {H, nil}, {S, nil}, {Sdg, nil},
+		{T, nil}, {Tdg, nil}, {V, nil}, {Vdg, nil}, {SX, nil}, {SXdg, nil},
+		{P, []float64{0.3}}, {RX, []float64{1.1}}, {RY, []float64{2.2}}, {RZ, []float64{-0.7}},
+		{U, []float64{1.0, 0.5, -0.3}},
+	}
+	for _, g := range gates {
+		gi, pi := InverseGate(g.g, g.params)
+		prod := linalg.Mul(toMatrix(Matrix2(gi, pi)), toMatrix(Matrix2(g.g, g.params)))
+		if !linalg.Equal(prod, linalg.Identity(2), tol) {
+			t.Errorf("inverse of %v wrong: product %v", g.g, prod.Data)
+		}
+	}
+}
+
+func TestCircuitBuilderValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no qubits", func() { New(0, 0) })
+	c := New(2, 1)
+	mustPanic("qubit range", func() { c.H(3) })
+	mustPanic("control overlap", func() { c.X(0, Control{Qubit: 0}) })
+	mustPanic("clbit range", func() { c.Measure(0, 5) })
+	mustPanic("swap duplicate", func() { c.SwapGate(1, 1) })
+	mustPanic("param count", func() { c.Gate(P, nil, 0) })
+}
+
+func TestCircuitCountsAndPredicates(t *testing.T) {
+	c := New(2, 2)
+	c.H(1).CX(1, 0).Barrier().Measure(0, 0)
+	if got := c.NumGates(); got != 2 {
+		t.Fatalf("NumGates = %d, want 2", got)
+	}
+	if !c.HasNonUnitary() {
+		t.Fatal("measurement not flagged as non-unitary")
+	}
+	u := New(2, 0)
+	u.H(0).Barrier()
+	if u.HasNonUnitary() {
+		t.Fatal("barrier wrongly flagged as non-unitary")
+	}
+}
+
+func TestInverseCircuit(t *testing.T) {
+	c := New(2, 0)
+	c.H(1).Phase(math.Pi/4, 0, Control{Qubit: 1}).SwapGate(0, 1)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.NumGates() != c.NumGates() {
+		t.Fatalf("inverse gate count mismatch")
+	}
+	// First inverse op must invert the last original op (swap).
+	if inv.Ops[0].Gate != Swap {
+		t.Fatalf("inverse op order wrong: first is %v", inv.Ops[0].Gate)
+	}
+	if inv.Ops[1].Gate != P || math.Abs(inv.Ops[1].Params[0]+math.Pi/4) > tol {
+		t.Fatalf("inverse phase angle wrong: %+v", inv.Ops[1])
+	}
+	// Circuits with measurements cannot be inverted.
+	m := New(1, 1)
+	m.Measure(0, 0)
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("expected error inverting measured circuit")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(2, 1)
+	c.Phase(0.5, 0, Control{Qubit: 1})
+	c.GateIf(X, nil, 0, []int{0}, 1)
+	d := c.Clone()
+	d.Ops[0].Params[0] = 99
+	d.Ops[1].Cond.Bits[0] = 0 // same value; mutate pointer target instead
+	d.Ops[1].Cond.Value = 7
+	if c.Ops[0].Params[0] == 99 {
+		t.Fatal("params shared between clone and original")
+	}
+	if c.Ops[1].Cond.Value == 7 {
+		t.Fatal("condition shared between clone and original")
+	}
+}
+
+func TestCompileNativeSwap(t *testing.T) {
+	c := New(2, 0)
+	c.SwapGate(0, 1)
+	out, err := CompileNative(c, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 3 {
+		t.Fatalf("swap lowering produced %d gates, want 3 CNOTs", out.NumGates())
+	}
+	for i := range out.Ops {
+		if out.Ops[i].Gate != X || len(out.Ops[i].Controls) != 1 {
+			t.Fatalf("swap lowering op %d is %v", i, out.Ops[i].String())
+		}
+	}
+}
+
+func TestCompileNativeControlledPhase(t *testing.T) {
+	c := New(2, 0)
+	c.Phase(math.Pi/2, 1, Control{Qubit: 0})
+	out, err := CompileNative(c, CompileOptions{EmitBarriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 5 {
+		t.Fatalf("CP lowering produced %d gates, want 5", out.NumGates())
+	}
+	// Barrier after the expansion (Fig. 5(b)).
+	if out.Ops[len(out.Ops)-1].Kind != KindBarrier {
+		t.Fatal("missing barrier after expanded gate")
+	}
+	// Functional check against dense matrices.
+	want := linalg.ExtendGate(2, Matrix2(P, []float64{math.Pi / 2}), 1, []int{0}, nil)
+	got := denseFunctionality(t, out)
+	if !linalg.EqualUpToGlobalPhase(got, want, tol) {
+		t.Fatal("CP lowering functionally wrong")
+	}
+}
+
+func TestCompileNativeRejects(t *testing.T) {
+	c := New(3, 0)
+	c.X(0, Control{Qubit: 1}, Control{Qubit: 2})
+	if _, err := CompileNative(c, CompileOptions{}); err == nil {
+		t.Fatal("expected error for multi-controlled gate")
+	}
+	n := New(2, 0)
+	n.X(0, Control{Qubit: 1, Neg: true})
+	if _, err := CompileNative(n, CompileOptions{}); err == nil {
+		t.Fatal("expected error for negative control")
+	}
+}
+
+// denseFunctionality multiplies out a circuit's gates densely.
+func denseFunctionality(t *testing.T, c *Circuit) linalg.Matrix {
+	t.Helper()
+	u := linalg.Identity(1 << uint(c.NQubits))
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if op.Kind != KindGate {
+			continue
+		}
+		var pos []int
+		for _, ctl := range op.Controls {
+			if ctl.Neg {
+				t.Fatal("dense helper does not support negative controls")
+			}
+			pos = append(pos, ctl.Qubit)
+		}
+		if op.Gate == Swap {
+			a, b := op.Targets[0], op.Targets[1]
+			x := Matrix2(X, nil)
+			g1 := linalg.ExtendGate(c.NQubits, x, b, append(append([]int{}, pos...), a), nil)
+			g2 := linalg.ExtendGate(c.NQubits, x, a, append(append([]int{}, pos...), b), nil)
+			u = linalg.Mul(g1, linalg.Mul(g2, linalg.Mul(g1, u)))
+			continue
+		}
+		g := linalg.ExtendGate(c.NQubits, Matrix2(op.Gate, op.Params), op.Targets[0], pos, nil)
+		u = linalg.Mul(g, u)
+	}
+	return u
+}
+
+func TestOpString(t *testing.T) {
+	c := New(2, 2)
+	c.Phase(math.Pi/2, 1, Control{Qubit: 0})
+	c.Measure(0, 1)
+	c.Barrier()
+	c.GateIf(X, nil, 0, []int{0}, 1)
+	s := c.String()
+	for _, want := range []string{"cp(", "measure q[0] -> c[1];", "barrier;", "if (c==1) x q[0];"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestQASMRoundTrippableShape(t *testing.T) {
+	c := New(3, 3)
+	c.H(2).Phase(math.Pi/4, 2, Control{Qubit: 0}).CCX(1, 2, 0).SwapGate(0, 2)
+	c.Barrier()
+	c.Measure(2, 2)
+	q := c.QASM()
+	for _, want := range []string{
+		"OPENQASM 2.0;", "qreg q[3];", "creg c[3];",
+		"h q[2];", "cp(", "ccx q[1],q[2],q[0];", "cswap", // cswap? no — plain swap
+	} {
+		if want == "cswap" {
+			continue
+		}
+		if !strings.Contains(q, want) {
+			t.Errorf("QASM missing %q in:\n%s", want, q)
+		}
+	}
+	if !strings.Contains(q, "swap q[0],q[2];") {
+		t.Errorf("QASM missing swap line:\n%s", q)
+	}
+}
+
+func TestGateStringAndParamCount(t *testing.T) {
+	if X.String() != "x" || Sdg.String() != "sdg" || U.String() != "u" {
+		t.Fatal("gate names wrong")
+	}
+	if U.ParamCount() != 3 || P.ParamCount() != 1 || H.ParamCount() != 0 {
+		t.Fatal("param counts wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package qc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a circuit's composition — the numbers the tool's
+// info panel and the CLI front ends report.
+type Stats struct {
+	NQubits        int
+	NClbits        int
+	Ops            int
+	Gates          int // unitary gate applications
+	TwoQubitGates  int // gates touching ≥2 qubits (controls included)
+	Measurements   int
+	Resets         int
+	Barriers       int
+	Conditionals   int            // classically-controlled gates
+	Depth          int            // circuit depth over qubit wires
+	GateHistogram  map[string]int // gate name → count (controls folded in)
+	MaxControls    int
+	NegativeCtrls  int
+	ParameterCount int // total angle parameters
+}
+
+// ComputeStats scans the circuit once.
+func ComputeStats(c *Circuit) Stats {
+	st := Stats{
+		NQubits:       c.NQubits,
+		NClbits:       c.NClbits,
+		Ops:           len(c.Ops),
+		GateHistogram: map[string]int{},
+	}
+	// Depth: greedy wire scheduling — each op lands one past the
+	// latest wire it touches (barriers synchronize all wires).
+	wire := make([]int, c.NQubits)
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		switch op.Kind {
+		case KindBarrier:
+			st.Barriers++
+			max := 0
+			for _, w := range wire {
+				if w > max {
+					max = w
+				}
+			}
+			for q := range wire {
+				wire[q] = max
+			}
+			continue
+		case KindMeasure:
+			st.Measurements++
+		case KindReset:
+			st.Resets++
+		case KindGate:
+			st.Gates++
+			name := op.Gate.String()
+			for range op.Controls {
+				name = "c" + name
+			}
+			st.GateHistogram[name]++
+			if len(op.Controls) > st.MaxControls {
+				st.MaxControls = len(op.Controls)
+			}
+			for _, ctl := range op.Controls {
+				if ctl.Neg {
+					st.NegativeCtrls++
+				}
+			}
+			if len(op.Targets)+len(op.Controls) >= 2 {
+				st.TwoQubitGates++
+			}
+			st.ParameterCount += len(op.Params)
+			if op.Cond != nil {
+				st.Conditionals++
+			}
+		}
+		// Advance the touched wires.
+		slot := 0
+		touch := func(q int) {
+			if wire[q] > slot {
+				slot = wire[q]
+			}
+		}
+		for _, t := range op.Targets {
+			touch(t)
+		}
+		for _, ctl := range op.Controls {
+			touch(ctl.Qubit)
+		}
+		slot++
+		for _, t := range op.Targets {
+			wire[t] = slot
+		}
+		for _, ctl := range op.Controls {
+			wire[ctl.Qubit] = slot
+		}
+		if slot > st.Depth {
+			st.Depth = slot
+		}
+	}
+	return st
+}
+
+// String renders the statistics as a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qubits=%d clbits=%d ops=%d gates=%d depth=%d\n",
+		s.NQubits, s.NClbits, s.Ops, s.Gates, s.Depth)
+	fmt.Fprintf(&b, "two-qubit=%d measure=%d reset=%d barrier=%d conditional=%d\n",
+		s.TwoQubitGates, s.Measurements, s.Resets, s.Barriers, s.Conditionals)
+	if len(s.GateHistogram) > 0 {
+		names := make([]string, 0, len(s.GateHistogram))
+		for n := range s.GateHistogram {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("gates:")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, s.GateHistogram[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

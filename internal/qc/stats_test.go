@@ -1,0 +1,67 @@
+package qc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsBellMeasured(t *testing.T) {
+	c := New(2, 2)
+	c.H(1).CX(1, 0).Barrier().Measure(0, 0).Measure(1, 1)
+	st := ComputeStats(c)
+	if st.Gates != 2 || st.Measurements != 2 || st.Barriers != 1 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.TwoQubitGates != 1 {
+		t.Fatalf("two-qubit gates = %d, want 1", st.TwoQubitGates)
+	}
+	if st.GateHistogram["h"] != 1 || st.GateHistogram["cx"] != 1 {
+		t.Fatalf("histogram wrong: %v", st.GateHistogram)
+	}
+	// Depth: H(q1)=1, CX touches both → 2, barrier syncs, measures → 3.
+	if st.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", st.Depth)
+	}
+	if !strings.Contains(st.String(), "gates: cx=1 h=1") {
+		t.Fatalf("string rendering wrong:\n%s", st.String())
+	}
+}
+
+func TestComputeStatsDepthParallelism(t *testing.T) {
+	// Two disjoint single-qubit gates share a depth slot.
+	c := New(2, 0)
+	c.H(0).H(1)
+	if d := ComputeStats(c).Depth; d != 1 {
+		t.Fatalf("parallel depth = %d, want 1", d)
+	}
+	// Sequential on the same wire stack up.
+	c2 := New(1, 0)
+	c2.H(0).T(0).H(0)
+	if d := ComputeStats(c2).Depth; d != 3 {
+		t.Fatalf("sequential depth = %d, want 3", d)
+	}
+	// A barrier forces later ops past the deepest wire.
+	c3 := New(2, 0)
+	c3.H(0).H(0).Barrier().H(1)
+	if d := ComputeStats(c3).Depth; d != 3 {
+		t.Fatalf("barrier depth = %d, want 3", d)
+	}
+}
+
+func TestComputeStatsControlsAndParams(t *testing.T) {
+	c := New(3, 1)
+	c.X(0, Control{Qubit: 1}, Control{Qubit: 2, Neg: true})
+	c.Phase(0.5, 0)
+	c.GateIf(X, nil, 1, []int{0}, 1)
+	c.Reset(2)
+	st := ComputeStats(c)
+	if st.MaxControls != 2 || st.NegativeCtrls != 1 {
+		t.Fatalf("control stats wrong: %+v", st)
+	}
+	if st.ParameterCount != 1 || st.Conditionals != 1 || st.Resets != 1 {
+		t.Fatalf("misc stats wrong: %+v", st)
+	}
+	if st.GateHistogram["ccx"] != 1 {
+		t.Fatalf("controlled histogram name wrong: %v", st.GateHistogram)
+	}
+}

@@ -1,0 +1,36 @@
+package realfmt
+
+import "testing"
+
+// FuzzParse checks the .real parser never panics, and that circuits it
+// accepts survive a write/parse round trip when serializable.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment\n.version 1.0\n.numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n",
+		".numvars 3\n.variables a b c\n.begin\nf3 a b c\nv a b\nv+ a c\np3 a b c\n.end\n",
+		".numvars 1\n.begin\nt1 x0\n.end\n",
+		".numvars 2\n.variables a b\n.begin\nt2 -a b\n.end\n",
+		".begin\n.end\n",
+		".numvars 2\n.variables a b\n.begin\nt9 a b\n.end",
+		".numvars 2\n.variables a a\n.begin\n.end",
+		".define\n",
+		".numvars 2\n.variables a b\n.begin\nt2 a b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		circ, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out, err := WriteString(circ)
+		if err != nil {
+			return // circuits with v/v+ etc. always serialize; others may not
+		}
+		if _, err := ParseString(out); err != nil {
+			t.Fatalf("serialized .real does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

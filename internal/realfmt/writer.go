@@ -1,0 +1,74 @@
+package realfmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"quantumdd/internal/qc"
+)
+
+// Write serializes a circuit in RevLib .real syntax. Only gates with a
+// .real spelling are supported: X with any number of controls (tN),
+// Swap with controls (fN), and V/V† with controls. Barriers are
+// emitted as comments; other operations are rejected.
+func Write(w io.Writer, c *qc.Circuit) error {
+	names := make([]string, c.NQubits)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	fmt.Fprintln(w, ".version 1.0")
+	fmt.Fprintf(w, ".numvars %d\n", c.NQubits)
+	fmt.Fprintf(w, ".variables %s\n", strings.Join(names, " "))
+	fmt.Fprintf(w, ".inputs %s\n", strings.Join(names, " "))
+	fmt.Fprintf(w, ".outputs %s\n", strings.Join(names, " "))
+	fmt.Fprintln(w, ".begin")
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		switch op.Kind {
+		case qc.KindBarrier:
+			fmt.Fprintln(w, "# barrier")
+			continue
+		case qc.KindGate:
+			// handled below
+		default:
+			return fmt.Errorf("realfmt: operation %q has no .real representation", op.String())
+		}
+		operands := make([]string, 0, len(op.Controls)+len(op.Targets))
+		for _, ctl := range op.Controls {
+			name := names[ctl.Qubit]
+			if ctl.Neg {
+				name = "-" + name
+			}
+			operands = append(operands, name)
+		}
+		for _, t := range op.Targets {
+			operands = append(operands, names[t])
+		}
+		var spec string
+		switch op.Gate {
+		case qc.X:
+			spec = fmt.Sprintf("t%d", len(operands))
+		case qc.Swap:
+			spec = fmt.Sprintf("f%d", len(operands))
+		case qc.V:
+			spec = "v"
+		case qc.Vdg:
+			spec = "v+"
+		default:
+			return fmt.Errorf("realfmt: gate %q has no .real representation", op.Gate)
+		}
+		fmt.Fprintf(w, "%s %s\n", spec, strings.Join(operands, " "))
+	}
+	fmt.Fprintln(w, ".end")
+	return nil
+}
+
+// WriteString serializes a circuit into a .real string.
+func WriteString(c *qc.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,54 @@
+package realfmt
+
+import (
+	"strings"
+	"testing"
+
+	"quantumdd/internal/qc"
+	"quantumdd/internal/verify"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	c := qc.New(3, 0)
+	c.CCX(0, 1, 2)
+	c.CX(0, 1)
+	c.X(0)
+	c.SwapGate(1, 2, qc.Control{Qubit: 0})
+	c.Gate(qc.V, nil, 2, qc.Control{Qubit: 0})
+	c.Gate(qc.Vdg, nil, 2, qc.Control{Qubit: 0})
+	c.X(1, qc.Control{Qubit: 0, Neg: true})
+	c.Barrier()
+	src, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t3 x0 x1 x2", "t2 x0 x1", "t1 x0", "f3 x0 x1 x2", "v x0 x2", "v+ x0 x2", "t2 -x0 x1", "# barrier"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("serialized .real missing %q:\n%s", want, src)
+		}
+	}
+	back, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, src)
+	}
+	res, err := verify.Check(c, back, verify.Construction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("round trip changed the functionality")
+	}
+}
+
+func TestWriteRejectsUnsupported(t *testing.T) {
+	c := qc.New(1, 0)
+	c.H(0)
+	if _, err := WriteString(c); err == nil {
+		t.Fatal("H has no .real spelling and must be rejected")
+	}
+	m := qc.New(1, 1)
+	m.Measure(0, 0)
+	if _, err := WriteString(m); err == nil {
+		t.Fatal("measure must be rejected")
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+)
+
+// TestGHZ62Qubits simulates a 62-qubit GHZ preparation — a state whose
+// dense vector (2^62 amplitudes ≈ 74 exabytes) could never be stored.
+// The DD holds it in 2·62−1 nodes; this is the paper's core pitch.
+func TestGHZ62Qubits(t *testing.T) {
+	const n = 62
+	s := New(algorithms.GHZ(n))
+	if _, err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dd.SizeV(s.State()); got != 2*n-1 {
+		t.Fatalf("GHZ(%d) DD has %d nodes, want %d", n, got, 2*n-1)
+	}
+	// Amplitude reconstruction still works at the extremes of the
+	// index space.
+	inv := 1 / math.Sqrt2
+	if a := dd.Amplitude(s.State(), 0); math.Abs(real(a)-inv) > 1e-9 {
+		t.Fatalf("amplitude |0…0> = %v", a)
+	}
+	all := int64(1)<<uint(n) - 1
+	if a := dd.Amplitude(s.State(), all); math.Abs(real(a)-inv) > 1e-9 {
+		t.Fatalf("amplitude |1…1> = %v", a)
+	}
+	if a := dd.Amplitude(s.State(), 1); a != 0 {
+		t.Fatalf("amplitude |0…01> = %v, want 0", a)
+	}
+	// Sampling yields only the two legal outcomes.
+	counts := s.Sample(200)
+	for idx := range counts {
+		if idx != 0 && idx != all {
+			t.Fatalf("sampled impossible state %b", idx)
+		}
+	}
+	// Entanglement works at this width: measuring qubit 61 fixes all.
+	p1 := s.ProbOne(n - 1)
+	if math.Abs(p1-0.5) > 1e-9 {
+		t.Fatalf("P(q%d=1) = %v", n-1, p1)
+	}
+	collapsed, err := s.Pkg().Collapse(s.State(), n-1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pkg().ProbOne(collapsed, 0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("entanglement broken at 62 qubits: P(q0=1) = %v", got)
+	}
+}
+
+// TestWideBasisArithmetic exercises gate application on a 50-qubit
+// register: local operations must stay local-cost.
+func TestWideBasisArithmetic(t *testing.T) {
+	const n = 50
+	c := qc.New(n, 0)
+	c.X(0)
+	c.X(n - 1)
+	c.CX(0, 25)
+	c.CCX(0, n-1, 10)
+	s := New(c)
+	if _, err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1) | 1<<uint(n-1) | 1<<25 | 1<<10
+	if a := dd.Amplitude(s.State(), want); math.Abs(real(a)-1) > 1e-9 {
+		t.Fatalf("wide basis arithmetic wrong: amplitude at %b = %v", want, a)
+	}
+	if got := dd.SizeV(s.State()); got != n {
+		t.Fatalf("basis state DD has %d nodes, want %d", got, n)
+	}
+	if got := dd.PathCount(s.State()); got != 1 {
+		t.Fatalf("path count %d", got)
+	}
+}
+
+// TestSuperpositionCapacity: |+>^40 has 2^40 non-zero amplitudes yet a
+// 40-node diagram; PathCount must report the former without
+// enumeration.
+func TestSuperpositionCapacity(t *testing.T) {
+	const n = 40
+	c := qc.New(n, 0)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	s := New(c)
+	if _, err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dd.SizeV(s.State()); got != n {
+		t.Fatalf("|+>^%d has %d nodes", n, got)
+	}
+	if got := dd.PathCount(s.State()); got != 1<<uint(n) {
+		t.Fatalf("path count = %d, want 2^%d", got, n)
+	}
+}

@@ -1,0 +1,388 @@
+// Package sim implements DD-based simulation of quantum circuits with
+// the interaction model of the paper's tool (Sec. IV-B): stepping
+// forward and backward through the circuit, running to the end or to
+// the next special operation (breakpoint), and handling measurements,
+// resets and classically-controlled operations — including the
+// "dialog" where a caller chooses the outcome of a measurement in
+// superposition.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+)
+
+// EventKind describes what a simulation step did.
+type EventKind int
+
+const (
+	EventGate      EventKind = iota // a unitary gate was applied
+	EventBarrier                    // a barrier was passed (breakpoint)
+	EventMeasure                    // a measurement collapsed the state
+	EventReset                      // a reset re-initialized a qubit
+	EventCondSkip                   // a classically-controlled gate did not fire
+	EventCondApply                  // a classically-controlled gate fired
+	EventEnd                        // no operation left
+)
+
+// Event reports the effect of one executed operation.
+type Event struct {
+	Kind    EventKind
+	OpIndex int     // index of the executed op
+	Op      *qc.Op  // the executed op (nil for EventEnd)
+	Outcome int     // measurement/reset outcome (pre-reset value)
+	P0, P1  float64 // branch probabilities shown in the dialog
+}
+
+// OutcomeChooser decides measurement (and pre-reset) outcomes when a
+// qubit is in superposition — the role of the tool's pop-up dialog.
+// Implementations return 0 or 1.
+type OutcomeChooser func(op *qc.Op, qubit int, p0, p1 float64) int
+
+// Simulator steps a circuit on a decision-diagram state.
+type Simulator struct {
+	pkg   *dd.Pkg
+	circ  *qc.Circuit
+	state dd.VEdge
+	pos   int // index of the next op to execute
+
+	classical []int // classical bit values (-1 = never written)
+
+	// history holds a snapshot per executed op so that stepping
+	// backward restores non-unitary effects exactly.
+	history []snapshot
+
+	rng     *rand.Rand
+	chooser OutcomeChooser
+
+	// GCThreshold triggers a DD garbage collection when the unique
+	// tables grow past this many nodes (0 disables automatic GC).
+	GCThreshold int
+
+	// approxThreshold, when positive, prunes branches below this
+	// probability after every gate (see dd.Approximate); fidelity
+	// keeps the cumulative product of per-step fidelities.
+	approxThreshold float64
+	approxFidelity  float64
+
+	peakNodes int // largest state diagram observed
+}
+
+type snapshot struct {
+	state     dd.VEdge
+	classical []int
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithSeed makes sampled outcomes deterministic.
+func WithSeed(seed int64) Option {
+	return func(s *Simulator) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithChooser installs an interactive outcome chooser; without one,
+// outcomes are sampled from the Born probabilities.
+func WithChooser(c OutcomeChooser) Option {
+	return func(s *Simulator) { s.chooser = c }
+}
+
+// WithApproximation enables approximate simulation: after every gate,
+// branches whose probability falls below threshold are pruned and the
+// state renormalized (dd.Approximate). The running fidelity estimate
+// is available via ApproxFidelity. Threshold must be in [0, 1).
+func WithApproximation(threshold float64) Option {
+	return func(s *Simulator) { s.approxThreshold = threshold }
+}
+
+// New creates a simulator for the circuit, starting in |0…0⟩.
+func New(circ *qc.Circuit, opts ...Option) *Simulator {
+	p := dd.New(circ.NQubits)
+	s := &Simulator{
+		pkg:            p,
+		circ:           circ,
+		state:          p.ZeroState(),
+		classical:      make([]int, circ.NClbits),
+		rng:            rand.New(rand.NewSource(1)),
+		GCThreshold:    1 << 20,
+		approxFidelity: 1,
+	}
+	for i := range s.classical {
+		s.classical[i] = -1
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.pkg.IncRefV(s.state)
+	return s
+}
+
+// Pkg exposes the underlying DD package (for visualization and stats).
+func (s *Simulator) Pkg() *dd.Pkg { return s.pkg }
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *qc.Circuit { return s.circ }
+
+// State returns the current decision-diagram state.
+func (s *Simulator) State() dd.VEdge { return s.state }
+
+// Pos returns the index of the next operation to execute.
+func (s *Simulator) Pos() int { return s.pos }
+
+// AtEnd reports whether the whole circuit has been executed.
+func (s *Simulator) AtEnd() bool { return s.pos >= len(s.circ.Ops) }
+
+// AtStart reports whether no operation has been executed.
+func (s *Simulator) AtStart() bool { return s.pos == 0 }
+
+// Classical returns a copy of the classical bit values (-1 for bits
+// never written by a measurement).
+func (s *Simulator) Classical() []int {
+	out := make([]int, len(s.classical))
+	copy(out, s.classical)
+	return out
+}
+
+func (s *Simulator) setState(e dd.VEdge) {
+	s.pkg.IncRefV(e)
+	s.pkg.DecRefV(s.state)
+	s.state = e
+	if n := dd.SizeV(e); n > s.peakNodes {
+		s.peakNodes = n
+	}
+	if s.GCThreshold > 0 {
+		s.maybeGC()
+	}
+}
+
+// PeakNodes reports the largest state diagram seen so far — the
+// "strengths and limits" indicator surfaced by the tool's statistics.
+func (s *Simulator) PeakNodes() int {
+	if n := dd.SizeV(s.state); n > s.peakNodes {
+		s.peakNodes = n
+	}
+	return s.peakNodes
+}
+
+func (s *Simulator) maybeGC() {
+	v, m := s.pkg.ActiveNodes()
+	if v+m < s.GCThreshold {
+		return
+	}
+	// Protect history snapshots (they are already ref-counted when
+	// pushed), then collect.
+	s.pkg.GarbageCollect()
+}
+
+// StepForward executes the next operation and reports what happened.
+// Reaching the end yields an EventEnd without error.
+func (s *Simulator) StepForward() (Event, error) {
+	if s.AtEnd() {
+		return Event{Kind: EventEnd, OpIndex: s.pos}, nil
+	}
+	op := &s.circ.Ops[s.pos]
+	// Snapshot for backward stepping.
+	snap := snapshot{state: s.state, classical: append([]int(nil), s.classical...)}
+	s.pkg.IncRefV(snap.state)
+	ev := Event{OpIndex: s.pos, Op: op}
+	switch op.Kind {
+	case qc.KindBarrier:
+		ev.Kind = EventBarrier
+	case qc.KindMeasure:
+		q := op.Targets[0]
+		outcome, collapsed, p0, p1, err := s.measure(op, q)
+		if err != nil {
+			s.pkg.DecRefV(snap.state)
+			return Event{}, err
+		}
+		s.setState(collapsed)
+		s.classical[op.Cbit] = outcome
+		ev.Kind = EventMeasure
+		ev.Outcome = outcome
+		ev.P0, ev.P1 = p0, p1
+	case qc.KindReset:
+		q := op.Targets[0]
+		outcome, collapsed, p0, p1, err := s.measure(op, q)
+		if err != nil {
+			s.pkg.DecRefV(snap.state)
+			return Event{}, err
+		}
+		if outcome == 1 {
+			collapsed = s.pkg.ApplyX(collapsed, q)
+		}
+		s.setState(collapsed)
+		ev.Kind = EventReset
+		ev.Outcome = outcome
+		ev.P0, ev.P1 = p0, p1
+	case qc.KindGate:
+		if op.Cond != nil && !s.condHolds(op.Cond) {
+			ev.Kind = EventCondSkip
+			break
+		}
+		next, err := s.applyGate(op)
+		if err != nil {
+			s.pkg.DecRefV(snap.state)
+			return Event{}, err
+		}
+		if s.approxThreshold > 0 {
+			approx, fid, _, _ := s.pkg.Approximate(next, s.approxThreshold)
+			s.approxFidelity *= fid
+			next = approx
+		}
+		s.setState(next)
+		if op.Cond != nil {
+			ev.Kind = EventCondApply
+		} else {
+			ev.Kind = EventGate
+		}
+	default:
+		s.pkg.DecRefV(snap.state)
+		return Event{}, fmt.Errorf("sim: unknown op kind %d", op.Kind)
+	}
+	s.history = append(s.history, snap)
+	s.pos++
+	return ev, nil
+}
+
+// measure obtains an outcome for qubit q: deterministic when one
+// branch has probability ~0, otherwise via the chooser (dialog) or by
+// sampling.
+func (s *Simulator) measure(op *qc.Op, q int) (outcome int, collapsed dd.VEdge, p0, p1 float64, err error) {
+	p1 = s.pkg.ProbOne(s.state, q)
+	p0 = 1 - p1
+	const eps = 1e-12
+	switch {
+	case p1 <= eps:
+		outcome = 0
+	case p0 <= eps:
+		outcome = 1
+	case s.chooser != nil:
+		outcome = s.chooser(op, q, p0, p1)
+		if outcome != 0 && outcome != 1 {
+			return 0, dd.VZero(), p0, p1, fmt.Errorf("sim: chooser returned invalid outcome %d", outcome)
+		}
+	default:
+		outcome = 0
+		if s.rng.Float64() < p1 {
+			outcome = 1
+		}
+	}
+	collapsed, err = s.pkg.Collapse(s.state, q, outcome)
+	return outcome, collapsed, p0, p1, err
+}
+
+func (s *Simulator) condHolds(c *qc.Condition) bool {
+	var v uint64
+	for i, b := range c.Bits {
+		bit := s.classical[b]
+		if bit == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v == c.Value
+}
+
+func (s *Simulator) applyGate(op *qc.Op) (dd.VEdge, error) {
+	g, err := s.gateDD(op)
+	if err != nil {
+		return dd.VZero(), err
+	}
+	return s.pkg.MultMV(g, s.state), nil
+}
+
+func (s *Simulator) gateDD(op *qc.Op) (dd.MEdge, error) {
+	ctl := make([]dd.Control, len(op.Controls))
+	for i, c := range op.Controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	if op.Gate == qc.Swap {
+		return s.pkg.MakeSwapDD(op.Targets[0], op.Targets[1], ctl...), nil
+	}
+	return s.pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ctl...), nil
+}
+
+// StepBackward undoes the most recently executed operation (including
+// non-unitary ones, by restoring the snapshot) and reports whether a
+// step was undone.
+func (s *Simulator) StepBackward() bool {
+	if s.pos == 0 {
+		return false
+	}
+	snap := s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	s.pkg.DecRefV(s.state)
+	s.state = snap.state // snapshot already holds a reference
+	s.classical = snap.classical
+	s.pos--
+	return true
+}
+
+// RunToBreak executes operations until just after the next special
+// operation (barrier/measure/reset/conditional), or to the end — the
+// ⏭ button of the tool. It returns the events executed.
+func (s *Simulator) RunToBreak() ([]Event, error) {
+	var events []Event
+	for !s.AtEnd() {
+		op := &s.circ.Ops[s.pos]
+		ev, err := s.StepForward()
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+		if op.IsSpecial() {
+			break
+		}
+	}
+	return events, nil
+}
+
+// RunToEnd executes all remaining operations — ⏭ without breakpoints.
+func (s *Simulator) RunToEnd() ([]Event, error) {
+	var events []Event
+	for !s.AtEnd() {
+		ev, err := s.StepForward()
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// Rewind returns to the initial state |0…0⟩ — the ⏮ button.
+func (s *Simulator) Rewind() {
+	for s.StepBackward() {
+	}
+}
+
+// ProbOne returns the probability of measuring qubit q as |1⟩ in the
+// current state.
+func (s *Simulator) ProbOne(q int) float64 { return s.pkg.ProbOne(s.state, q) }
+
+// ApproxFidelity reports the cumulative fidelity estimate of an
+// approximate simulation (1 when approximation is off or never fired).
+// Note: stepping backward does not restore previously spent fidelity.
+func (s *Simulator) ApproxFidelity() float64 { return s.approxFidelity }
+
+// Sample draws shots basis states from the current state without
+// disturbing it (weak simulation).
+func (s *Simulator) Sample(shots int) map[int64]int {
+	return dd.SampleCounts(s.state, shots, s.rng)
+}
+
+// Amplitudes returns the dense current state (exponential; for tests
+// and small-instance visualization).
+func (s *Simulator) Amplitudes() []complex128 { return s.pkg.Vector(s.state) }
+
+// Run simulates the whole circuit with the given seed and returns the
+// classical results and final state — the batch entry point.
+func Run(circ *qc.Circuit, seed int64) (classical []int, final dd.VEdge, p *dd.Pkg, err error) {
+	s := New(circ, WithSeed(seed))
+	if _, err := s.RunToEnd(); err != nil {
+		return nil, dd.VZero(), nil, err
+	}
+	return s.Classical(), s.State(), s.Pkg(), nil
+}

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+)
+
+func TestFindCounterexampleOnDifferingGates(t *testing.T) {
+	p := dd.New(2)
+	x0 := p.MakeGateDD(dd.GateMatrix(qc.Matrix2(qc.X, nil)), 0)
+	x1 := p.MakeGateDD(dd.GateMatrix(qc.Matrix2(qc.X, nil)), 1)
+	ce := FindCounterexample(p, x0, x1, 1e-9)
+	if ce == nil {
+		t.Fatal("no counterexample for X(q0) vs X(q1)")
+	}
+	a := dd.MatrixEntry(x0, ce.Row, ce.Col)
+	b := dd.MatrixEntry(x1, ce.Row, ce.Col)
+	if cmplx.Abs(a-b) < 1e-9 {
+		t.Fatalf("witness entry does not differ: %v vs %v", a, b)
+	}
+	if ce.String() == "" {
+		t.Fatal("empty witness rendering")
+	}
+}
+
+func TestFindCounterexampleNilForEqual(t *testing.T) {
+	p := dd.New(2)
+	h := p.MakeGateDD(dd.GateMatrix(qc.Matrix2(qc.H, nil)), 1)
+	if ce := FindCounterexample(p, h, h, 1e-9); ce != nil {
+		t.Fatalf("counterexample for identical diagrams: %v", ce)
+	}
+}
+
+func TestFindCounterexampleScalarDifference(t *testing.T) {
+	p := dd.New(1)
+	h := p.MakeGateDD(dd.GateMatrix(qc.Matrix2(qc.H, nil)), 0)
+	scaled := dd.MEdge{W: h.W * 2, N: h.N}
+	ce := FindCounterexample(p, h, scaled, 1e-9)
+	if ce == nil {
+		t.Fatal("scalar difference not witnessed")
+	}
+}
+
+func TestDiagnoseNonEquivalence(t *testing.T) {
+	qft := algorithms.QFT(3)
+	comp := algorithms.QFTCompiled(3)
+	ok, overlap, ce, err := DiagnoseNonEquivalence(qft, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || ce != nil {
+		t.Fatalf("equivalent pair misdiagnosed: ok=%v ce=%v", ok, ce)
+	}
+	if math.Abs(overlap-1) > 1e-9 {
+		t.Fatalf("HS overlap = %v, want 1", overlap)
+	}
+	// Break one gate.
+	broken := algorithms.QFT(3)
+	for i := range broken.Ops {
+		if broken.Ops[i].Gate == qc.H {
+			broken.Ops[i].Gate = qc.X
+			break
+		}
+	}
+	ok, overlap, ce, err = DiagnoseNonEquivalence(broken, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("broken pair diagnosed as equivalent")
+	}
+	if overlap > 1-1e-6 {
+		t.Fatalf("overlap of broken pair = %v, want < 1", overlap)
+	}
+	if ce == nil {
+		t.Fatal("no counterexample extracted")
+	}
+	p := dd.New(3)
+	u1, _, err := BuildFunctionality(p, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := BuildFunctionality(p, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(dd.MatrixEntry(u1, ce.Row, ce.Col)-dd.MatrixEntry(u2, ce.Row, ce.Col)) < 1e-9 {
+		t.Fatalf("extracted witness (%d,%d) does not actually differ", ce.Row, ce.Col)
+	}
+	// Width mismatch is rejected.
+	if _, _, _, err := DiagnoseNonEquivalence(qc.New(2, 0), qc.New(3, 0)); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestDiagnoseGlobalPhasePair(t *testing.T) {
+	a := qc.New(1, 0)
+	a.Gate(qc.RZ, []float64{0.8}, 0)
+	b := qc.New(1, 0)
+	b.Phase(0.8, 0)
+	ok, overlap, _, err := DiagnoseNonEquivalence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("phase-equivalent pair not recognized (HS overlap is phase-invariant)")
+	}
+	if math.Abs(overlap-1) > 1e-9 {
+		t.Fatalf("overlap = %v, want 1", overlap)
+	}
+}

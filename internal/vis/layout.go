@@ -1,0 +1,130 @@
+package vis
+
+import "sort"
+
+// Layout parameters (SVG user units).
+const (
+	nodeRadius   = 18.0
+	levelGap     = 72.0
+	siblingGap   = 64.0
+	marginX      = 40.0
+	marginY      = 48.0
+	terminalSize = 22.0
+)
+
+// Layout assigns node coordinates: one row per level (root level on
+// top, terminal at the bottom), nodes within a row ordered by a DFS
+// pre-order pass followed by barycenter sweeps to reduce crossings.
+// It returns the overall canvas size.
+func (g *Graph) Layout() (width, height float64) {
+	if len(g.Nodes) == 0 {
+		return 2 * marginX, 2 * marginY
+	}
+	// Row index per node: row 0 is the top (highest level).
+	top := g.Levels - 1
+	rowOf := func(n *Node) int {
+		if n.Terminal {
+			return g.Levels // bottom row
+		}
+		return top - n.Level
+	}
+	rows := make([][]NodeID, g.Levels+1)
+	// DFS pre-order from the root for an initial ordering.
+	visited := make([]bool, len(g.Nodes))
+	adj := make([][]NodeID, len(g.Nodes))
+	for _, e := range g.Edges {
+		if e.To != noNode {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	var dfs func(id NodeID)
+	dfs = func(id NodeID) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		rows[rowOf(&g.Nodes[id])] = append(rows[rowOf(&g.Nodes[id])], id)
+		for _, c := range adj[id] {
+			dfs(c)
+		}
+	}
+	if g.Root != noNode {
+		dfs(g.Root)
+	}
+	for id := range g.Nodes {
+		if !visited[id] {
+			dfs(NodeID(id))
+		}
+	}
+	// Barycenter sweeps: order each row by the mean position of
+	// parents (downward pass), then by children (upward pass).
+	pos := make([]float64, len(g.Nodes))
+	assign := func() {
+		for _, row := range rows {
+			for i, id := range row {
+				pos[id] = float64(i)
+			}
+		}
+	}
+	assign()
+	parents := make([][]NodeID, len(g.Nodes))
+	for _, e := range g.Edges {
+		if e.To != noNode {
+			parents[e.To] = append(parents[e.To], e.From)
+		}
+	}
+	bary := func(ids []NodeID, of [][]NodeID) {
+		type keyed struct {
+			id  NodeID
+			key float64
+		}
+		ks := make([]keyed, len(ids))
+		for i, id := range ids {
+			refs := of[id]
+			if len(refs) == 0 {
+				ks[i] = keyed{id, pos[id]}
+				continue
+			}
+			sum := 0.0
+			for _, r := range refs {
+				sum += pos[r]
+			}
+			ks[i] = keyed{id, sum / float64(len(refs))}
+		}
+		sort.SliceStable(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+		for i := range ks {
+			ids[i] = ks[i].id
+		}
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for r := 1; r < len(rows); r++ {
+			bary(rows[r], parents)
+			assign()
+		}
+		for r := len(rows) - 2; r >= 0; r-- {
+			bary(rows[r], adj)
+			assign()
+		}
+	}
+	// Coordinates: centre every row horizontally.
+	maxW := 0
+	for _, row := range rows {
+		if len(row) > maxW {
+			maxW = len(row)
+		}
+	}
+	width = marginX*2 + float64(maxW-1)*siblingGap
+	if width < 2*marginX+siblingGap {
+		width = 2*marginX + siblingGap
+	}
+	for r, row := range rows {
+		rowWidth := float64(len(row)-1) * siblingGap
+		x0 := (width - rowWidth) / 2
+		for i, id := range row {
+			g.Nodes[id].X = x0 + float64(i)*siblingGap
+			g.Nodes[id].Y = marginY + float64(r+1)*levelGap
+		}
+	}
+	height = marginY + float64(len(rows)+1)*levelGap
+	return width, height
+}

@@ -1,0 +1,214 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quantumdd/internal/cnum"
+)
+
+// Mode selects one of the tool's visualization styles (Fig. 7).
+type Mode int
+
+const (
+	// Classic mimics research-paper figures: weight labels on edges,
+	// dashed lines for non-unit weights, 0-stubs retracted into nodes.
+	Classic Mode = iota
+	// Colored drops the labels and encodes magnitude as thickness and
+	// phase as an HLS hue (Fig. 7(c), Fig. 6).
+	Colored
+	// Modern uses rounded nodes with branch-probability bars for a
+	// more approachable look (Fig. 8/9 screenshots).
+	Modern
+)
+
+// Style bundles the render options of the settings panel.
+type Style struct {
+	Mode Mode
+	// ShowEdgeLabels forces/suppresses weight labels (Classic defaults
+	// to true, others to false).
+	ShowEdgeLabels *bool
+}
+
+func (s Style) labels() bool {
+	if s.ShowEdgeLabels != nil {
+		return *s.ShowEdgeLabels
+	}
+	return s.Mode == Classic
+}
+
+// svgBuilder accumulates SVG markup.
+type svgBuilder struct {
+	buf strings.Builder
+}
+
+func (b *svgBuilder) open(w, h float64) {
+	fmt.Fprintf(&b.buf, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"Helvetica,Arial,sans-serif\">\n", w, h, w, h)
+	fmt.Fprintf(&b.buf, "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n")
+}
+
+func (b *svgBuilder) close() { b.buf.WriteString("</svg>\n") }
+
+// String returns the accumulated SVG markup.
+func (b *svgBuilder) String() string { return b.buf.String() }
+
+func (b *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64, dashed bool) {
+	dash := ""
+	if dashed {
+		dash = " stroke-dasharray=\"5,3\""
+	}
+	fmt.Fprintf(&b.buf, "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" stroke-width=\"%.2f\"%s/>\n", x1, y1, x2, y2, stroke, width, dash)
+}
+
+func (b *svgBuilder) text(x, y float64, s string, size float64, anchor string) {
+	fmt.Fprintf(&b.buf, "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.0f\" text-anchor=\"%s\">%s</text>\n", x, y, size, anchor, escape(s))
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// SVG renders the graph (which must have been laid out by the caller
+// or will be laid out here) in the given style.
+func (g *Graph) SVG(style Style) string {
+	w, h := g.Layout()
+	var b svgBuilder
+	b.open(w, h)
+
+	portX := func(n *Node, port, nports int) float64 {
+		span := nodeRadius * 1.6
+		return n.X - span/2 + span*(float64(port)+0.5)/float64(nports)
+	}
+
+	// Root arrow.
+	if g.Root != noNode {
+		rn := &g.Nodes[g.Root]
+		b.line(rn.X, rn.Y-levelGap, rn.X, rn.Y-nodeRadius-2, edgeColor(style, g.RootWeight), edgeWidth(style, g.RootWeight), dashedFor(style, g.RootWeight))
+		if style.labels() && !cnum.IsOne(g.RootWeight, 1e-9) {
+			b.text(rn.X+6, rn.Y-levelGap+14, cnum.FormatComplex(g.RootWeight), 11, "start")
+		}
+		arrowHead(&b, rn.X, rn.Y-nodeRadius-2)
+	}
+
+	// Edges beneath nodes.
+	for _, e := range g.Edges {
+		from := &g.Nodes[e.From]
+		x1 := portX(from, e.Port, e.NPorts)
+		y1 := from.Y + nodeRadius - 2
+		if e.Zero {
+			// Retracted 0-stub: a short tick with a tiny "0".
+			if style.Mode != Colored {
+				b.line(x1, y1, x1, y1+8, "#999999", 1, false)
+				b.text(x1, y1+17, "0", 8, "middle")
+			}
+			continue
+		}
+		to := &g.Nodes[e.To]
+		x2, y2 := to.X, to.Y-nodeRadius+2
+		if to.Terminal {
+			y2 = to.Y - terminalSize/2 - 1
+		}
+		b.line(x1, y1, x2, y2, edgeColor(style, e.Weight), edgeWidth(style, e.Weight), dashedFor(style, e.Weight))
+		if style.labels() && !cnum.IsOne(e.Weight, 1e-9) {
+			mx, my := (x1+x2)/2, (y1+y2)/2
+			b.text(mx+5, my, cnum.FormatComplex(e.Weight), 10, "start")
+		}
+	}
+
+	// Nodes on top.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch {
+		case n.Terminal:
+			fmt.Fprintf(&b.buf, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"white\" stroke=\"black\" stroke-width=\"1.4\"/>\n",
+				n.X-terminalSize/2, n.Y-terminalSize/2, terminalSize, terminalSize)
+			b.text(n.X, n.Y+4, "1", 12, "middle")
+		case style.Mode == Modern:
+			wBox, hBox := nodeRadius*2.4, nodeRadius*1.8
+			fmt.Fprintf(&b.buf, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" rx=\"8\" fill=\"#eef4ff\" stroke=\"#35507a\" stroke-width=\"1.4\"/>\n",
+				n.X-wBox/2, n.Y-hBox/2, wBox, hBox)
+			b.text(n.X, n.Y-2, n.Label, 11, "middle")
+			// Probability bars for vector nodes: the squared branch
+			// weights (the values the measurement dialog shows).
+			if g.Kind == KindVector && len(n.Probs) == 2 {
+				barW := wBox/2 - 6
+				for k, p := range n.Probs {
+					x := n.X - wBox/2 + 4 + float64(k)*(barW+4)
+					fmt.Fprintf(&b.buf, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"4\" fill=\"#d4ddec\"/>\n", x, n.Y+5, barW)
+					fmt.Fprintf(&b.buf, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"4\" fill=\"#35507a\"/>\n", x, n.Y+5, barW*clamp01(p))
+				}
+			}
+		default:
+			fmt.Fprintf(&b.buf, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"white\" stroke=\"black\" stroke-width=\"1.4\"/>\n", n.X, n.Y, nodeRadius)
+			b.text(n.X, n.Y+4, n.Label, 12, "middle")
+		}
+	}
+	b.close()
+	return b.String()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func arrowHead(b *svgBuilder, x, y float64) {
+	fmt.Fprintf(&b.buf, "<path d=\"M%.1f,%.1f l-4,-7 l8,0 Z\" fill=\"black\"/>\n", x, y)
+}
+
+func edgeColor(s Style, w complex128) string {
+	if s.Mode == Colored {
+		return PhaseColor(w)
+	}
+	return "black"
+}
+
+func edgeWidth(s Style, w complex128) float64 {
+	if s.Mode == Colored {
+		return MagnitudeWidth(w)
+	}
+	return 1.4
+}
+
+// dashedFor implements the classic-style convention: edges with a
+// weight different from 1 are dashed.
+func dashedFor(s Style, w complex128) bool {
+	if s.Mode != Classic {
+		return false
+	}
+	return !cnum.IsOne(w, 1e-9)
+}
+
+// frameSVG is used by the web layer: it prefixes the diagram with a
+// caption line (e.g. the last executed gate).
+func frameSVG(g *Graph, style Style, caption string) string {
+	svg := g.SVG(style)
+	if caption == "" {
+		return svg
+	}
+	caption = escape(caption)
+	insert := fmt.Sprintf("<text x=\"8\" y=\"16\" font-size=\"12\" fill=\"#555\">%s</text>\n", caption)
+	idx := strings.Index(svg, "/>\n") // after the background rect
+	if idx < 0 {
+		return svg
+	}
+	return svg[:idx+3] + insert + svg[idx+3:]
+}
+
+// FrameSVG renders a diagram with a caption; exported for the web UI
+// and the animation exporter.
+func FrameSVG(g *Graph, style Style, caption string) string { return frameSVG(g, style, caption) }
+
+// ProbabilityOf formats a probability for dialog rendering.
+func ProbabilityOf(p float64) string {
+	return fmt.Sprintf("%.1f%%", math.Round(p*1000)/10)
+}

@@ -1,0 +1,71 @@
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quantumdd/internal/cnum"
+)
+
+// Text renders the graph as indented ASCII, one line per node with its
+// outgoing edges — the terminal-friendly view used by ddsim -draw.
+// Shared nodes are printed once and referenced by #id afterwards, so
+// the output size matches the diagram size (not the 2^n expansion):
+//
+//	root --(1/√2)--> #0
+//	#0 q1
+//	  [0] --(1)--> #1
+//	  [1] --(1)--> #2
+//	#1 q0
+//	  [0] --(1)--> [1]
+//	  [1] 0
+//	...
+func (g *Graph) Text() string {
+	var b strings.Builder
+	if g.Root == noNode {
+		return "(empty diagram)\n"
+	}
+	fmt.Fprintf(&b, "root --(%s)--> %s\n", cnum.FormatComplex(g.RootWeight), nodeRef(&g.Nodes[g.Root]))
+	// Group edges by source for stable printing.
+	edgesBySource := map[NodeID][]Edge{}
+	for _, e := range g.Edges {
+		edgesBySource[e.From] = append(edgesBySource[e.From], e)
+	}
+	// Print nodes in descending level, then id, for a top-down read.
+	order := make([]int, 0, len(g.Nodes))
+	for i := range g.Nodes {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := &g.Nodes[order[a]], &g.Nodes[order[b]]
+		if na.Level != nb.Level {
+			return na.Level > nb.Level
+		}
+		return na.ID < nb.ID
+	})
+	for _, idx := range order {
+		n := &g.Nodes[idx]
+		if n.Terminal {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s\n", nodeRef(n), n.Label)
+		edges := edgesBySource[n.ID]
+		sort.Slice(edges, func(a, b int) bool { return edges[a].Port < edges[b].Port })
+		for _, e := range edges {
+			if e.Zero {
+				fmt.Fprintf(&b, "  [%d] 0\n", e.Port)
+				continue
+			}
+			fmt.Fprintf(&b, "  [%d] --(%s)--> %s\n", e.Port, cnum.FormatComplex(e.Weight), nodeRef(&g.Nodes[e.To]))
+		}
+	}
+	return b.String()
+}
+
+func nodeRef(n *Node) string {
+	if n.Terminal {
+		return "[1]"
+	}
+	return fmt.Sprintf("#%d", n.ID)
+}

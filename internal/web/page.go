@@ -1,0 +1,247 @@
+package web
+
+// indexHTML is the embedded single-page UI of the tool. It reproduces
+// the interaction model of Sec. IV: an algorithm box with the example
+// list, navigation buttons (⏮ ← → ⏭ and play/pause), a style panel
+// (classic/colored/modern, edge labels), the decision-diagram canvas,
+// measurement/reset dialogs, and a verification tab with two algorithm
+// boxes stepping toward the identity.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Visualizing Decision Diagrams for Quantum Computing</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 0; background: #f5f7fa; color: #222; }
+  header { background: #35507a; color: white; padding: 10px 18px; }
+  header h1 { font-size: 18px; margin: 0; }
+  header p { margin: 2px 0 0; font-size: 12px; opacity: .85; }
+  .tabs { display: flex; gap: 4px; padding: 8px 18px 0; }
+  .tabs button { border: none; padding: 8px 16px; border-radius: 6px 6px 0 0; cursor: pointer; background: #d7dfeb; font-size: 14px; }
+  .tabs button.active { background: white; font-weight: bold; }
+  main { display: none; padding: 14px 18px; }
+  main.active { display: flex; gap: 14px; align-items: flex-start; flex-wrap: wrap; }
+  .panel { background: white; border-radius: 8px; padding: 12px; box-shadow: 0 1px 3px rgba(0,0,0,.15); }
+  textarea { width: 340px; height: 260px; font-family: monospace; font-size: 12px; }
+  .controls { margin-top: 8px; display: flex; gap: 6px; flex-wrap: wrap; }
+  .controls button { padding: 6px 10px; font-size: 14px; cursor: pointer; }
+  #ddbox, #vddbox { min-width: 420px; min-height: 380px; overflow: auto; max-height: 78vh; }
+  .status { font-size: 12px; color: #444; margin-top: 6px; min-height: 16px; }
+  select, label { font-size: 13px; }
+  .settings { display: flex; flex-direction: column; gap: 8px; max-width: 220px; }
+  dialog { border: 1px solid #35507a; border-radius: 8px; padding: 18px; }
+  dialog button { margin: 6px; padding: 8px 18px; font-size: 15px; cursor: pointer; }
+  .identity-yes { color: #0a7d28; font-weight: bold; }
+  .identity-no { color: #9c2b2b; font-weight: bold; }
+  img.wheel { display: block; margin-top: 4px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>Visualizing Decision Diagrams for Quantum Computing</h1>
+  <p>Go reproduction of the DATE 2021 tool — simulation and equivalence checking on quantum decision diagrams</p>
+</header>
+<div class="tabs">
+  <button id="tab-sim" class="active" onclick="showTab('sim')">Simulation</button>
+  <button id="tab-ver" onclick="showTab('ver')">Verification</button>
+</div>
+
+<main id="main-sim" class="active">
+  <div class="panel">
+    <b>Algorithm</b><br>
+    <select id="examples" onchange="loadExample()"><option value="">— Example Algorithms —</option></select><br>
+    <textarea id="code" spellcheck="false"></textarea>
+    <div class="controls">
+      <button onclick="newSim()">Load</button>
+      <button onclick="simStep('start')" title="back to the beginning">&#9198;</button>
+      <button onclick="simStep('backward')" title="one step back">&#8592;</button>
+      <button onclick="simStep('forward')" title="one step forward">&#8594;</button>
+      <button onclick="simStep('break')" title="to the next special operation">&#9197;</button>
+      <button onclick="simStep('end')" title="to the end">&#9193;</button>
+      <button id="play" onclick="togglePlay()" title="slide show">&#9654;</button>
+    </div>
+    <div class="status" id="simstatus">load an algorithm to begin</div>
+  </div>
+  <div class="panel settings">
+    <b>Settings</b>
+    <label>Style:
+      <select id="style" onchange="refresh()">
+        <option value="classic">classic</option>
+        <option value="colored">colored</option>
+        <option value="modern">modern</option>
+      </select>
+    </label>
+    <label><input type="checkbox" id="labels" checked onchange="refresh()"> edge weight labels</label>
+    <div>Phase color wheel:<img class="wheel" src="/colorwheel.svg" width="120" alt="HLS color wheel"></div>
+  </div>
+  <div class="panel" id="ddbox">load an algorithm…</div>
+</main>
+
+<main id="main-ver">
+  <div class="panel">
+    <b>Circuit G</b><br>
+    <textarea id="left" spellcheck="false"></textarea>
+    <div class="controls">
+      <button onclick="verStep('left','forward')">apply gate &#8594;</button>
+      <button onclick="verStep('left','barrier')">to barrier &#9197;</button>
+    </div>
+  </div>
+  <div class="panel" id="vddbox">load circuits…</div>
+  <div class="panel">
+    <b>Circuit G'</b><br>
+    <textarea id="right" spellcheck="false"></textarea>
+    <div class="controls">
+      <button onclick="verStep('right','forward')">&#8592; apply gate&#8224;</button>
+      <button onclick="verStep('right','barrier')">&#9198; to barrier</button>
+    </div>
+    <div class="controls">
+      <button onclick="newVer()">Load both</button>
+      <button onclick="verStep('left','backward')">undo</button>
+      <button onclick="buildFunc(false)" title="Ex. 14: single-circuit mode">functionality of G</button>
+      <button onclick="buildFunc(true)">inverse of G</button>
+    </div>
+    <div class="status" id="verstatus">G is applied from the left, inverted G' from the right; equivalent circuits end at the identity.</div>
+  </div>
+</main>
+
+<dialog id="measure-dialog">
+  <p id="dialog-text"></p>
+  <button onclick="choose(0)">collapse to |0&#x27E9;</button>
+  <button onclick="choose(1)">collapse to |1&#x27E9;</button>
+</dialog>
+
+<script>
+let simId = null, verId = null, playing = null;
+
+function qs() {
+  const style = document.getElementById('style').value;
+  const labels = document.getElementById('labels').checked ? '1' : '0';
+  return '?style=' + style + '&labels=' + labels;
+}
+function showTab(t) {
+  document.getElementById('main-sim').classList.toggle('active', t === 'sim');
+  document.getElementById('main-ver').classList.toggle('active', t === 'ver');
+  document.getElementById('tab-sim').classList.toggle('active', t === 'sim');
+  document.getElementById('tab-ver').classList.toggle('active', t === 'ver');
+}
+async function api(url, body) {
+  const opts = body === undefined ? {} : {method: 'POST', body: JSON.stringify(body)};
+  const resp = await fetch(url, opts);
+  const data = await resp.json();
+  if (!resp.ok) throw new Error(data.error || resp.statusText);
+  return data;
+}
+async function loadExamples() {
+  const ex = await api('/api/examples');
+  const sel = document.getElementById('examples');
+  ex.forEach((e, i) => {
+    const o = document.createElement('option');
+    o.value = i; o.textContent = e.name;
+    sel.appendChild(o);
+  });
+  window._examples = ex;
+}
+function loadExample() {
+  const sel = document.getElementById('examples');
+  if (sel.value === '') return;
+  document.getElementById('code').value = window._examples[sel.value].code;
+  newSim();
+}
+function renderFrame(boxId, frame, statusId, text) {
+  document.getElementById(boxId).innerHTML = frame.svg;
+  if (statusId) {
+    let extra = '';
+    if (frame.pathCount) extra += ', ' + frame.pathCount + ' basis state(s)';
+    if (frame.peakNodes) extra += ', peak ' + frame.peakNodes + ' node(s)';
+    document.getElementById(statusId).textContent =
+      (text || frame.caption || '') + '  [' + frame.nodes + ' node(s)' + extra +
+      ', op ' + frame.pos + '/' + frame.total + ']';
+  }
+}
+async function newSim() {
+  stopPlay();
+  try {
+    const data = await api('/api/simulation' + qs(), {code: document.getElementById('code').value});
+    simId = data.id;
+    renderFrame('ddbox', data.frame, 'simstatus', 'loaded');
+  } catch (e) { document.getElementById('simstatus').textContent = e.message; }
+}
+async function simStep(action) {
+  if (!simId) return;
+  try {
+    const data = await api('/api/simulation/' + simId + '/step' + qs(), {action});
+    if (data.pending) { showDialog(data.pending); renderFrame('ddbox', data.frame, 'simstatus', 'measurement pending'); return; }
+    renderFrame('ddbox', data.frame, 'simstatus', data.event);
+    if (data.atEnd) stopPlay();
+  } catch (e) { document.getElementById('simstatus').textContent = e.message; stopPlay(); }
+}
+function showDialog(p) {
+  stopPlay();
+  const kind = p.kind === 'reset' ? 'Reset' : 'Measurement';
+  document.getElementById('dialog-text').textContent =
+    kind + ' of q[' + p.qubit + ']: P(|0>) = ' + (p.p0 * 100).toFixed(1) + '%, P(|1>) = ' + (p.p1 * 100).toFixed(1) + '%';
+  document.getElementById('measure-dialog').showModal();
+}
+async function choose(outcome) {
+  document.getElementById('measure-dialog').close();
+  const data = await api('/api/simulation/' + simId + '/choose' + qs(), {outcome});
+  renderFrame('ddbox', data.frame, 'simstatus', data.event);
+}
+function togglePlay() {
+  if (playing) { stopPlay(); return; }
+  document.getElementById('play').innerHTML = '&#9208;';
+  playing = setInterval(() => simStep('forward'), 900);
+}
+function stopPlay() {
+  if (playing) clearInterval(playing);
+  playing = null;
+  document.getElementById('play').innerHTML = '&#9654;';
+}
+async function refresh() {
+  if (simId && document.getElementById('main-sim').classList.contains('active')) {
+    const data = await api('/api/simulation/' + simId + qs());
+    renderFrame('ddbox', data.frame, 'simstatus', '');
+  }
+  if (verId && document.getElementById('main-ver').classList.contains('active')) {
+    const data = await api('/api/verification/' + verId + qs());
+    renderVer(data);
+  }
+}
+async function newVer() {
+  try {
+    const data = await api('/api/verification' + qs(), {
+      left: document.getElementById('left').value,
+      right: document.getElementById('right').value,
+    });
+    verId = data.id;
+    renderFrame('vddbox', data.frame, 'verstatus', 'identity loaded');
+  } catch (e) { document.getElementById('verstatus').textContent = e.message; }
+}
+function renderVer(data) {
+  renderFrame('vddbox', data.frame, null);
+  const st = document.getElementById('verstatus');
+  const cls = data.identity.startsWith('identity') ? 'identity-yes' : 'identity-no';
+  st.innerHTML = (data.applied ? 'applied ' + data.applied + ' — ' : '') +
+    '<span class="' + cls + '">' + data.identity + '</span>' +
+    ' [' + data.frame.nodes + ' node(s), G: ' + data.leftPos + ', G\': ' + data.rightPos + ']';
+}
+async function buildFunc(inverse) {
+  try {
+    const data = await api('/api/functionality' + qs(), {
+      code: document.getElementById('left').value, inverse: inverse,
+    });
+    renderFrame('vddbox', data.frame, 'verstatus', data.frame.caption);
+  } catch (e) { document.getElementById('verstatus').textContent = e.message; }
+}
+async function verStep(side, action) {
+  if (!verId) return;
+  try {
+    const data = await api('/api/verification/' + verId + '/step' + qs(), {side, action});
+    renderVer(data);
+  } catch (e) { document.getElementById('verstatus').textContent = e.message; }
+}
+loadExamples();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,538 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/qc"
+	"quantumdd/internal/sim"
+	"quantumdd/internal/vis"
+)
+
+// Handler returns the tool's HTTP handler: the embedded page at "/",
+// the color-wheel legend, and the JSON API under /api/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexHTML)
+	})
+	mux.HandleFunc("GET /colorwheel.svg", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, vis.ColorWheelSVG(160))
+	})
+	mux.HandleFunc("GET /api/examples", s.handleExamples)
+	mux.HandleFunc("POST /api/simulation", s.handleNewSimulation)
+	mux.HandleFunc("POST /api/simulation/{id}/step", s.handleSimStep)
+	mux.HandleFunc("POST /api/simulation/{id}/choose", s.handleSimChoose)
+	mux.HandleFunc("GET /api/simulation/{id}", s.handleSimGet)
+	mux.HandleFunc("GET /api/simulation/{id}/export", s.handleSimExport)
+	mux.HandleFunc("POST /api/verification", s.handleNewVerification)
+	mux.HandleFunc("POST /api/verification/{id}/step", s.handleVerifyStep)
+	mux.HandleFunc("GET /api/verification/{id}", s.handleVerifyGet)
+	mux.HandleFunc("GET /api/verification/{id}/export", s.handleVerifyExport)
+	mux.HandleFunc("POST /api/noisy", s.handleNoisy)
+	mux.HandleFunc("POST /api/functionality", s.handleFunctionality)
+	return mux
+}
+
+// ListenAndServe starts the tool on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Example is an entry of the "Example Algorithms" list.
+type Example struct {
+	Name string `json:"name"`
+	Code string `json:"code"`
+}
+
+// Examples returns the built-in algorithm list offered by the tool.
+func Examples() []Example {
+	items := []struct {
+		name string
+		circ *qc.Circuit
+	}{
+		{"Bell state (Fig. 1(c))", algorithms.Bell()},
+		{"Bell state with measurement (Fig. 8)", algorithms.BellMeasured()},
+		{"GHZ (4 qubits)", algorithms.GHZ(4)},
+		{"W state (4 qubits)", algorithms.WState(4)},
+		{"QFT (3 qubits, Fig. 5(a))", algorithms.QFT(3)},
+		{"QFT compiled (Fig. 5(b))", algorithms.QFTCompiled(3)},
+		{"Grover (3 qubits)", algorithms.Grover(3, 5)},
+		{"Bernstein-Vazirani", algorithms.BernsteinVazirani(4, 0b1011)},
+		{"Phase estimation", algorithms.QPE(3, 3.0/8.0)},
+		{"Teleportation", algorithms.Teleport(1.2, 0.4)},
+	}
+	out := make([]Example, 0, len(items)+1)
+	for _, it := range items {
+		out = append(out, Example{Name: it.name, Code: it.circ.QASM()})
+	}
+	// One RevLib example demonstrates the second input format the
+	// algorithm box accepts.
+	out = append(out, Example{
+		Name: "Toffoli network (.real format)",
+		Code: "# RevLib .real input is auto-detected\n.version 1.0\n.numvars 3\n.variables a b c\n.begin\nt1 a\nt2 a b\nt3 a b c\n.end\n",
+	})
+	return out
+}
+
+func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Examples())
+}
+
+type newSimRequest struct {
+	Code   string `json:"code"`
+	Format string `json:"format"`
+}
+
+func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
+	var req newSimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	circ, err := ParseCircuit(req.Code, req.Format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	id := s.newID("sim")
+	sess := newSimSession(circ, s.seed)
+	s.sims[id] = sess
+	s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":    id,
+		"frame": simFrame(sess, style, "initial state |0…0⟩"),
+	})
+}
+
+func (s *Server) simSession(r *http.Request) (*simSession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sims[r.PathValue("id")]
+	if !ok {
+		return nil, fmt.Errorf("web: unknown simulation session %q", r.PathValue("id"))
+	}
+	return sess, nil
+}
+
+type stepRequest struct {
+	Action string `json:"action"` // forward | backward | break | end | start
+}
+
+type stepResponse struct {
+	Frame   Frame          `json:"frame"`
+	Event   string         `json:"event,omitempty"`
+	Pending *PendingChoice `json:"pending,omitempty"`
+	AtEnd   bool           `json:"atEnd"`
+	AtStart bool           `json:"atStart"`
+}
+
+func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.simSession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	caption := ""
+	switch req.Action {
+	case "forward":
+		if pending := sess.pending(); pending != nil {
+			writeJSON(w, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
+			return
+		}
+		ev, err := sess.sim.StepForward()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		caption = describeEvent(sess, ev)
+	case "backward":
+		sess.forced = nil
+		sess.sim.StepBackward()
+		caption = "stepped backward"
+	case "start":
+		sess.forced = nil
+		sess.sim.Rewind()
+		caption = "initial state |0…0⟩"
+	case "break", "end":
+		for !sess.sim.AtEnd() {
+			if pending := sess.pending(); pending != nil {
+				writeJSON(w, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
+				return
+			}
+			ev, err := sess.sim.StepForward()
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			caption = describeEvent(sess, ev)
+			if req.Action == "break" && ev.Op != nil && ev.Op.IsSpecial() {
+				break
+			}
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
+		return
+	}
+	writeJSON(w, http.StatusOK, stepResponse{
+		Frame:   simFrame(sess, style, caption),
+		Event:   caption,
+		AtEnd:   sess.sim.AtEnd(),
+		AtStart: sess.sim.AtStart(),
+	})
+}
+
+func describeEvent(sess *simSession, ev sim.Event) string {
+	switch ev.Kind {
+	case sim.EventEnd:
+		return "end of circuit"
+	case sim.EventBarrier:
+		return "barrier (breakpoint)"
+	case sim.EventMeasure:
+		return fmt.Sprintf("measured q[%d] = %d (p0=%.3f, p1=%.3f)", ev.Op.Targets[0], ev.Outcome, ev.P0, ev.P1)
+	case sim.EventReset:
+		return fmt.Sprintf("reset q[%d] (pre-reset value %d)", ev.Op.Targets[0], ev.Outcome)
+	case sim.EventCondSkip:
+		return fmt.Sprintf("skipped %s (condition not met)", ev.Op.String())
+	case sim.EventCondApply:
+		return fmt.Sprintf("applied conditional %s", ev.Op.String())
+	default:
+		if ev.Op != nil {
+			return "applied " + ev.Op.String()
+		}
+		return ""
+	}
+}
+
+type chooseRequest struct {
+	Outcome int `json:"outcome"`
+}
+
+func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.simSession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req chooseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := sess.choose(req.Outcome); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, err := sess.sim.StepForward()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	caption := describeEvent(sess, ev)
+	writeJSON(w, http.StatusOK, stepResponse{
+		Frame:   simFrame(sess, style, caption),
+		Event:   caption,
+		AtEnd:   sess.sim.AtEnd(),
+		AtStart: sess.sim.AtStart(),
+	})
+}
+
+func (s *Server) handleSimGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.simSession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	writeJSON(w, http.StatusOK, stepResponse{
+		Frame:   simFrame(sess, style, ""),
+		Pending: sess.pending(),
+		AtEnd:   sess.sim.AtEnd(),
+		AtStart: sess.sim.AtStart(),
+	})
+}
+
+type noisyRequest struct {
+	Code         string  `json:"code"`
+	Format       string  `json:"format"`
+	Depolarizing float64 `json:"depolarizing"`
+	BitFlip      float64 `json:"bitFlip"`
+	PhaseFlip    float64 `json:"phaseFlip"`
+	Trajectories int     `json:"trajectories"`
+}
+
+type noisyResponse struct {
+	Trajectories int            `json:"trajectories"`
+	ErrorEvents  int            `json:"errorEvents"`
+	MeanNodes    float64        `json:"meanNodes"`
+	Counts       map[string]int `json:"counts"`
+}
+
+// handleNoisy runs a Monte-Carlo trajectory ensemble under Pauli noise
+// and returns the aggregated outcome histogram — a batch companion to
+// the interactive stepping view.
+func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
+	var req noisyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	circ, err := ParseCircuit(req.Code, req.Format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Trajectories <= 0 {
+		req.Trajectories = 500
+	}
+	if req.Trajectories > 100000 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: at most 100000 trajectories"))
+		return
+	}
+	model := sim.NoiseModel{Depolarizing: req.Depolarizing, BitFlip: req.BitFlip, PhaseFlip: req.PhaseFlip}
+	res, err := sim.RunNoisy(circ, model, req.Trajectories, s.seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	counts := make(map[string]int, len(res.Counts))
+	for idx, n := range res.Counts {
+		counts[fmt.Sprintf("%0*b", circ.NQubits, idx)] = n
+	}
+	writeJSON(w, http.StatusOK, noisyResponse{
+		Trajectories: res.Trajectories,
+		ErrorEvents:  res.ErrorEvents,
+		MeanNodes:    res.MeanNodes,
+		Counts:       counts,
+	})
+}
+
+// handleSimExport serves the current diagram as a standalone artifact
+// (format=svg or dot) for download from the tool.
+func (s *Server) handleSimExport(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.simSession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	g := vis.FromVector(sess.sim.State())
+	writeExport(w, g, style, r.URL.Query().Get("format"))
+}
+
+func (s *Server) handleVerifyExport(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.verifySession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	g := vis.FromMatrix(sess.x)
+	writeExport(w, g, style, r.URL.Query().Get("format"))
+}
+
+func writeExport(w http.ResponseWriter, g *vis.Graph, style vis.Style, format string) {
+	switch format {
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, g.DOT(style))
+	case "", "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, g.SVG(style))
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown export format %q (want svg or dot)", format))
+	}
+}
+
+type functionalityRequest struct {
+	Code    string `json:"code"`
+	Format  string `json:"format"`
+	Inverse bool   `json:"inverse"`
+}
+
+// handleFunctionality implements the Ex. 14 mode of the verification
+// tab: with a single circuit loaded, build its (inverse) functionality
+// as a matrix diagram and render it.
+func (s *Server) handleFunctionality(w http.ResponseWriter, r *http.Request) {
+	var req functionalityRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	circ, err := ParseCircuit(req.Code, req.Format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	frame, err := BuildFunctionalityFrame(circ, req.Inverse, style)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"frame": frame})
+}
+
+type newVerifyRequest struct {
+	Left   string `json:"left"`
+	Right  string `json:"right"`
+	Format string `json:"format"`
+}
+
+func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
+	var req newVerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	left, err := ParseCircuit(req.Left, req.Format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("left circuit: %w", err))
+		return
+	}
+	right, err := ParseCircuit(req.Right, req.Format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("right circuit: %w", err))
+		return
+	}
+	sess, err := newVerifySession(left, right)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	id := s.newID("verify")
+	s.verifies[id] = sess
+	s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":    id,
+		"frame": verifyFrame(sess, style, "identity"),
+	})
+}
+
+func (s *Server) verifySession(r *http.Request) (*verifySession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.verifies[r.PathValue("id")]
+	if !ok {
+		return nil, fmt.Errorf("web: unknown verification session %q", r.PathValue("id"))
+	}
+	return sess, nil
+}
+
+type verifyStepRequest struct {
+	Side   string `json:"side"`   // left | right
+	Action string `json:"action"` // forward | barrier | backward
+}
+
+type verifyStepResponse struct {
+	Frame    Frame  `json:"frame"`
+	Applied  string `json:"applied,omitempty"`
+	Identity string `json:"identity"`
+	LeftPos  int    `json:"leftPos"`
+	RightPos int    `json:"rightPos"`
+}
+
+func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.verifySession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req verifyStepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := ""
+	switch req.Action {
+	case "forward":
+		gate, err := sess.stepSide(req.Side)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		applied = gate
+	case "barrier":
+		n, err := sess.runToBarrier(req.Side)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		applied = fmt.Sprintf("%d gate(s)", n)
+	case "backward":
+		if sess.stepBack() {
+			applied = "undone"
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
+		return
+	}
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	writeJSON(w, http.StatusOK, verifyStepResponse{
+		Frame:    verifyFrame(sess, style, applied),
+		Applied:  applied,
+		Identity: sess.identity(),
+		LeftPos:  sess.li,
+		RightPos: sess.ri,
+	})
+}
+
+func (s *Server) handleVerifyGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.verifySession(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	writeJSON(w, http.StatusOK, verifyStepResponse{
+		Frame:    verifyFrame(sess, style, ""),
+		Identity: sess.identity(),
+		LeftPos:  sess.li,
+		RightPos: sess.ri,
+	})
+}

@@ -1,0 +1,406 @@
+// Package web implements the installation-free visualization tool of
+// Sec. IV as an HTTP server: a single embedded page backed by a JSON
+// API. The simulation tab steps a circuit forward/backward with
+// breakpoints and measurement/reset dialogs; the verification tab
+// steps two circuits against each other starting from the identity
+// diagram (Fig. 9).
+package web
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qasm"
+	"quantumdd/internal/qc"
+	"quantumdd/internal/realfmt"
+	"quantumdd/internal/sim"
+	"quantumdd/internal/verify"
+	"quantumdd/internal/vis"
+)
+
+// ParseCircuit loads source code in the given format ("qasm" or
+// "real"; empty guesses from the content) — the drag-and-drop entry
+// point of the algorithm box.
+func ParseCircuit(code, format string) (*qc.Circuit, error) {
+	switch format {
+	case "", "auto":
+		if strings.Contains(code, ".begin") {
+			return realfmt.ParseString(code)
+		}
+		return qasm.Parse(code)
+	case "qasm":
+		return qasm.Parse(code)
+	case "real":
+		return realfmt.ParseString(code)
+	default:
+		return nil, fmt.Errorf("web: unknown format %q (want qasm or real)", format)
+	}
+}
+
+// PendingChoice describes a measurement/reset waiting for the user's
+// dialog decision.
+type PendingChoice struct {
+	OpIndex int     `json:"opIndex"`
+	Kind    string  `json:"kind"` // "measure" or "reset"
+	Qubit   int     `json:"qubit"`
+	P0      float64 `json:"p0"`
+	P1      float64 `json:"p1"`
+}
+
+// simSession wraps a simulator with the dialog protocol: when the next
+// operation measures a qubit in superposition, stepping reports a
+// PendingChoice instead of advancing; the client resolves it with an
+// explicit outcome.
+type simSession struct {
+	sim    *sim.Simulator
+	forced *int // outcome for the next dialog-requiring op
+}
+
+const superpositionEps = 1e-12
+
+func newSimSession(circ *qc.Circuit, seed int64) *simSession {
+	s := &simSession{}
+	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithChooser(func(op *qc.Op, q int, p0, p1 float64) int {
+		// The server only steps after a choice is registered, so a
+		// missing choice is a protocol violation handled in pending().
+		if s.forced == nil {
+			return 0
+		}
+		out := *s.forced
+		s.forced = nil
+		return out
+	}))
+	return s
+}
+
+// pending reports whether the next op needs a dialog choice.
+func (s *simSession) pending() *PendingChoice {
+	if s.forced != nil || s.sim.AtEnd() {
+		return nil
+	}
+	circ := s.sim.Circuit()
+	op := &circ.Ops[s.sim.Pos()]
+	if op.Kind != qc.KindMeasure && op.Kind != qc.KindReset {
+		return nil
+	}
+	q := op.Targets[0]
+	p1 := s.sim.ProbOne(q)
+	if p1 <= superpositionEps || 1-p1 <= superpositionEps {
+		return nil // deterministic, no dialog
+	}
+	kind := "measure"
+	if op.Kind == qc.KindReset {
+		kind = "reset"
+	}
+	return &PendingChoice{OpIndex: s.sim.Pos(), Kind: kind, Qubit: q, P0: 1 - p1, P1: p1}
+}
+
+func (s *simSession) choose(outcome int) error {
+	if outcome != 0 && outcome != 1 {
+		return fmt.Errorf("web: outcome must be 0 or 1, got %d", outcome)
+	}
+	if s.pending() == nil {
+		return errors.New("web: no measurement or reset is awaiting a choice")
+	}
+	s.forced = &outcome
+	return nil
+}
+
+// verifySession drives the alternating equivalence-checking view: two
+// gate lists (G applied from the left, G′ inverted and applied from
+// the right) over an identity-initialized diagram, with per-side
+// stepping, barrier-aware "fast-forward" and unlimited undo.
+type verifySession struct {
+	pkg   *dd.Pkg
+	left  *qc.Circuit
+	right *qc.Circuit
+	x     dd.MEdge
+	// positions index into the circuits' op lists (barriers are
+	// skipped transparently but delimit RunToBarrier).
+	li, ri  int
+	history []verifySnapshot
+}
+
+type verifySnapshot struct {
+	x      dd.MEdge
+	li, ri int
+}
+
+func newVerifySession(left, right *qc.Circuit) (*verifySession, error) {
+	if left.NQubits != right.NQubits {
+		return nil, fmt.Errorf("web: circuits must have the same number of qubits (%d vs %d)", left.NQubits, right.NQubits)
+	}
+	if left.HasNonUnitary() || right.HasNonUnitary() {
+		return nil, errors.New("web: measurement, reset and classically-controlled operations are not supported in verification")
+	}
+	p := dd.New(left.NQubits)
+	v := &verifySession{pkg: p, left: left, right: right, x: p.Ident()}
+	v.pkg.IncRefM(v.x)
+	return v, nil
+}
+
+func (v *verifySession) gateDD(op *qc.Op, invert bool) dd.MEdge {
+	g, params := op.Gate, op.Params
+	if invert {
+		g, params = qc.InverseGate(op.Gate, op.Params)
+	}
+	ctl := make([]dd.Control, len(op.Controls))
+	for i, c := range op.Controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	if g == qc.Swap {
+		return v.pkg.MakeSwapDD(op.Targets[0], op.Targets[1], ctl...)
+	}
+	return v.pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(g, params)), op.Targets[0], ctl...)
+}
+
+// stepSide applies the next gate of the chosen side ("left" = G,
+// "right" = G′). It returns the description of the applied gate, or
+// "" when that side is exhausted.
+func (v *verifySession) stepSide(side string) (string, error) {
+	var circ *qc.Circuit
+	var pos *int
+	switch side {
+	case "left":
+		circ, pos = v.left, &v.li
+	case "right":
+		circ, pos = v.right, &v.ri
+	default:
+		return "", fmt.Errorf("web: unknown side %q", side)
+	}
+	// Skip barriers.
+	for *pos < len(circ.Ops) && circ.Ops[*pos].Kind == qc.KindBarrier {
+		*pos++
+	}
+	if *pos >= len(circ.Ops) {
+		return "", nil
+	}
+	v.history = append(v.history, verifySnapshot{x: v.x, li: v.li, ri: v.ri})
+	v.pkg.IncRefM(v.x) // snapshot reference
+	op := &circ.Ops[*pos]
+	var next dd.MEdge
+	if side == "left" {
+		next = v.pkg.MultMM(v.gateDD(op, false), v.x)
+	} else {
+		next = v.pkg.MultMM(v.x, v.gateDD(op, true))
+	}
+	v.pkg.IncRefM(next)
+	v.pkg.DecRefM(v.x)
+	v.x = next
+	*pos++
+	return op.String(), nil
+}
+
+func (v *verifySession) sideCirc(side string) *qc.Circuit {
+	if side == "right" {
+		return v.right
+	}
+	return v.left
+}
+
+func (v *verifySession) sidePos(side string) int {
+	if side == "right" {
+		return v.ri
+	}
+	return v.li
+}
+
+func (v *verifySession) setSidePos(side string, pos int) {
+	if side == "right" {
+		v.ri = pos
+	} else {
+		v.li = pos
+	}
+}
+
+// runToBarrier applies gates of the side up to the next barrier (or
+// the end) — the ⏭ button of the verification tab, which Ex. 12 uses
+// to consume "all gates from the circuit up to the next barrier".
+func (v *verifySession) runToBarrier(side string) (int, error) {
+	if side != "left" && side != "right" {
+		return 0, fmt.Errorf("web: unknown side %q", side)
+	}
+	applied := 0
+	for {
+		circ, pos := v.sideCirc(side), v.sidePos(side)
+		if pos >= len(circ.Ops) {
+			return applied, nil
+		}
+		if circ.Ops[pos].Kind == qc.KindBarrier {
+			if applied > 0 {
+				// Stop at the barrier; the next invocation skips it.
+				return applied, nil
+			}
+			v.setSidePos(side, pos+1)
+			continue
+		}
+		if _, err := v.stepSide(side); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+}
+
+func (v *verifySession) stepBack() bool {
+	if len(v.history) == 0 {
+		return false
+	}
+	snap := v.history[len(v.history)-1]
+	v.history = v.history[:len(v.history)-1]
+	v.pkg.DecRefM(v.x)
+	v.x = snap.x // reference transferred from the snapshot
+	v.li, v.ri = snap.li, snap.ri
+	return true
+}
+
+// identity classifies the current diagram against the identity.
+func (v *verifySession) identity() string {
+	switch v.pkg.CheckIdentity(v.x) {
+	case dd.IdentityExact:
+		return "identity"
+	case dd.IdentityUpToPhase:
+		return "identity-up-to-phase"
+	default:
+		return "not-identity"
+	}
+}
+
+// Server hosts the tool: static page plus JSON API, with an in-memory
+// session store.
+type Server struct {
+	mu       sync.Mutex
+	nextID   int
+	sims     map[string]*simSession
+	verifies map[string]*verifySession
+	seed     int64
+}
+
+// NewServer creates an empty session store. The seed makes sampled
+// measurement outcomes reproducible across restarts.
+func NewServer(seed int64) *Server {
+	return &Server{
+		sims:     map[string]*simSession{},
+		verifies: map[string]*verifySession{},
+		seed:     seed,
+	}
+}
+
+func (s *Server) newID(prefix string) string {
+	s.nextID++
+	return fmt.Sprintf("%s-%d", prefix, s.nextID)
+}
+
+// styleFrom maps query parameters onto a vis.Style.
+func styleFrom(mode string, labels string) vis.Style {
+	st := vis.Style{}
+	switch mode {
+	case "colored":
+		st.Mode = vis.Colored
+	case "modern":
+		st.Mode = vis.Modern
+	default:
+		st.Mode = vis.Classic
+	}
+	switch labels {
+	case "1", "true", "on":
+		yes := true
+		st.ShowEdgeLabels = &yes
+	case "0", "false", "off":
+		no := false
+		st.ShowEdgeLabels = &no
+	}
+	return st
+}
+
+// Frame is the render payload common to both tabs.
+type Frame struct {
+	SVG       string    `json:"svg"`
+	Nodes     int       `json:"nodes"`
+	Caption   string    `json:"caption,omitempty"`
+	Pos       int       `json:"pos"`
+	Total     int       `json:"total"`
+	Classical []int     `json:"classical,omitempty"`
+	Probs     []float64 `json:"probs,omitempty"`
+	// Statistics panel payload.
+	PathCount int64 `json:"pathCount,omitempty"` // non-zero basis states
+	PeakNodes int   `json:"peakNodes,omitempty"`
+	LevelHist []int `json:"levelHist,omitempty"` // nodes per qubit level
+}
+
+func simFrame(s *simSession, style vis.Style, caption string) Frame {
+	g := vis.FromVector(s.sim.State())
+	return Frame{
+		SVG:       vis.FrameSVG(g, style, caption),
+		Nodes:     dd.SizeV(s.sim.State()),
+		Caption:   caption,
+		Pos:       s.sim.Pos(),
+		Total:     len(s.sim.Circuit().Ops),
+		Classical: s.sim.Classical(),
+		Probs:     s.sim.Pkg().Probabilities(s.sim.State()),
+		PathCount: dd.PathCount(s.sim.State()),
+		PeakNodes: s.sim.PeakNodes(),
+		LevelHist: s.sim.Pkg().SizeByLevelV(s.sim.State()),
+	}
+}
+
+func verifyFrame(v *verifySession, style vis.Style, caption string) Frame {
+	g := vis.FromMatrix(v.x)
+	return Frame{
+		SVG:       vis.FrameSVG(g, style, caption),
+		Nodes:     dd.SizeM(v.x),
+		Caption:   caption,
+		Pos:       gatesBefore(v.left, v.li) + gatesBefore(v.right, v.ri),
+		Total:     v.left.NumGates() + v.right.NumGates(),
+		LevelHist: v.pkg.SizeByLevelM(v.x),
+	}
+}
+
+// gatesBefore counts the gate operations before op index pos, so the
+// progress display compares like with like (barriers excluded).
+func gatesBefore(c *qc.Circuit, pos int) int {
+	n := 0
+	for i := 0; i < pos && i < len(c.Ops); i++ {
+		if c.Ops[i].Kind == qc.KindGate {
+			n++
+		}
+	}
+	return n
+}
+
+// For tests: expose internals.
+func (v *verifySession) positions() (int, int) { return v.li, v.ri }
+func (v *verifySession) nodeCount() int        { return dd.SizeM(v.x) }
+
+// BuildFunctionalityFrame supports the "single circuit loaded" mode of
+// the verification tab: it constructs the (inverse) functionality of
+// one circuit (Ex. 14) and returns its rendered frame.
+func BuildFunctionalityFrame(circ *qc.Circuit, inverse bool, style vis.Style) (Frame, error) {
+	use := circ
+	if inverse {
+		inv, err := circ.Inverse()
+		if err != nil {
+			return Frame{}, err
+		}
+		use = inv
+	}
+	p := dd.New(use.NQubits)
+	u, _, err := verify.BuildFunctionality(p, use)
+	if err != nil {
+		return Frame{}, err
+	}
+	g := vis.FromMatrix(u)
+	caption := "functionality of " + circ.Name
+	if inverse {
+		caption = "inverse " + caption
+	}
+	return Frame{
+		SVG:     vis.FrameSVG(g, style, caption),
+		Nodes:   dd.SizeM(u),
+		Caption: caption,
+		Pos:     use.NumGates(),
+		Total:   use.NumGates(),
+	}, nil
+}

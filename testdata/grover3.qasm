@@ -1,0 +1,28 @@
+// Grover search over 3 qubits for |101>, two iterations.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q;
+// oracle: phase flip on |101>
+x q[1];
+ccz q[0],q[1],q[2];
+x q[1];
+// diffusion
+h q;
+x q;
+ccz q[0],q[1],q[2];
+x q;
+h q;
+// oracle again
+x q[1];
+ccz q[0],q[1],q[2];
+x q[1];
+// diffusion again
+h q;
+x q;
+ccz q[0],q[1],q[2];
+x q;
+h q;
+barrier q;
+measure q -> c;

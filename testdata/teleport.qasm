@@ -1,0 +1,17 @@
+// Quantum teleportation of T|+(pi/5)> with classical corrections.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+u3(1.0471975511965976,0.6283185307179586,0) q[2];
+barrier q;
+h q[1];
+cx q[1],q[0];
+barrier q;
+cx q[2],q[1];
+h q[2];
+measure q[2] -> c1[0];
+measure q[1] -> c0[0];
+if (c0==1) x q[0];
+if (c1==1) z q[0];
