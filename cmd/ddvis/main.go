@@ -3,25 +3,101 @@
 // algorithms, step through DD-based simulation with measurement
 // dialogs, and verify two circuits against each other.
 //
+// The server is hardened for shared deployments: request bodies,
+// circuit sizes, and diagram growth are bounded, idle sessions are
+// reaped, every request carries a deadline, and SIGINT/SIGTERM drain
+// in-flight requests before exiting. See README "Operational limits".
+//
 // Usage:
 //
-//	ddvis [-addr :8080] [-seed 1]
+//	ddvis [-addr :8080] [-seed 1] [-max-qubits 24] [-max-ops 4096]
+//	      [-max-nodes 250000] [-max-body-bytes 1048576]
+//	      [-session-ttl 30m] [-max-sessions 256] [-request-timeout 15s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"quantumdd/internal/core"
+	"quantumdd/internal/web"
 )
 
 func main() {
+	def := web.DefaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
-	seed := flag.Int64("seed", 1, "seed for sampled measurement outcomes")
+	seed := flag.Int64("seed", def.Seed, "seed for sampled measurement outcomes")
+	maxQubits := flag.Int("max-qubits", def.MaxQubits, "reject circuits wider than this many qubits (0 = unlimited)")
+	maxOps := flag.Int("max-ops", def.MaxOps, "reject circuits with more operations than this (0 = unlimited)")
+	maxNodes := flag.Int("max-nodes", def.MaxNodes, "per-session decision-diagram node budget (0 = unlimited)")
+	maxBody := flag.Int64("max-body-bytes", def.MaxBodyBytes, "maximum request body size in bytes (0 = unlimited)")
+	sessionTTL := flag.Duration("session-ttl", def.SessionTTL, "evict sessions idle longer than this (0 = never)")
+	maxSessions := flag.Int("max-sessions", def.MaxSessions, "LRU cap on live sessions per kind (0 = unlimited)")
+	reqTimeout := flag.Duration("request-timeout", def.RequestTimeout, "per-request deadline, bounds fast-forward loops (0 = none)")
 	flag.Parse()
-	srv := core.NewWebTool(*seed)
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := core.NewWebToolConfig(web.Config{
+		Seed:           *seed,
+		MaxQubits:      *maxQubits,
+		MaxOps:         *maxOps,
+		MaxNodes:       *maxNodes,
+		MaxBodyBytes:   *maxBody,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+	})
+	defer srv.Close()
+
+	writeTimeout := time.Minute
+	if *reqTimeout > 0 {
+		// Leave headroom so the per-request deadline (which yields a
+		// JSON error) fires before the connection is cut.
+		writeTimeout = *reqTimeout + 5*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	display := *addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
 	fmt.Printf("visualizing decision diagrams for quantum computing\n")
-	fmt.Printf("serving on http://localhost%s\n", *addr)
-	log.Fatal(srv.ListenAndServe(*addr))
+	fmt.Printf("serving on http://%s\n", display)
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		logger.Info("shutting down", "drain", "10s")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Error("shutdown failed", "error", err)
+			os.Exit(1)
+		}
+	}
 }

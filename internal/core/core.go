@@ -127,8 +127,15 @@ func StyleByName(name string) (vis.Style, error) {
 	}
 }
 
-// NewWebTool creates the installation-free web tool served over HTTP.
+// NewWebTool creates the installation-free web tool served over HTTP,
+// using the default operational limits (web.DefaultConfig).
 func NewWebTool(seed int64) *web.Server { return web.NewServer(seed) }
+
+// NewWebToolConfig creates the web tool with explicit operational
+// limits — admission caps, node budgets, session TTL/LRU eviction, and
+// request deadlines. Call Close on the returned server to stop its
+// background session reaper.
+func NewWebToolConfig(cfg web.Config) *web.Server { return web.NewServerWithConfig(cfg) }
 
 // SimulationFrames runs a whole simulation and renders one SVG frame
 // per executed operation — the data behind the tool's slide show, and

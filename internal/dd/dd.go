@@ -132,6 +132,13 @@ type Pkg struct {
 
 	// Roots protected from garbage collection, see IncRef/DecRef.
 	stats Stats
+
+	// Node budget (see budget.go): maxNodes caps the live unique-table
+	// size, live tracks it incrementally, and budgetArmed marks that a
+	// *Checked operation is in flight and may be aborted.
+	maxNodes    int
+	live        int
+	budgetArmed bool
 }
 
 // Stats aggregates package counters, exposed for the benchmark
@@ -330,8 +337,12 @@ func (p *Pkg) makeVNode(v Var, e [2]VEdge) VEdge {
 		p.stats.UniqueHitsV++
 		return VEdge{W: top, N: n}
 	}
+	if p.budgetArmed && p.maxNodes > 0 && p.live >= p.maxNodes {
+		panic(p.exceeded())
+	}
 	n := &VNode{V: v, E: [2]VEdge{{W: w0, N: n0}, {W: w1, N: n1}}}
 	tab[key] = n
+	p.live++
 	p.stats.NodesCreatedV++
 	return VEdge{W: top, N: n}
 }
@@ -392,11 +403,15 @@ func (p *Pkg) makeMNode(v Var, e [4]MEdge) MEdge {
 		p.stats.UniqueHitsM++
 		return MEdge{W: top, N: nd}
 	}
+	if p.budgetArmed && p.maxNodes > 0 && p.live >= p.maxNodes {
+		panic(p.exceeded())
+	}
 	nd := &MNode{V: v}
 	for i := range nd.E {
 		nd.E[i] = MEdge{W: w[i], N: n[i]}
 	}
 	tab[key] = nd
+	p.live++
 	p.stats.NodesCreatedM++
 	return MEdge{W: top, N: nd}
 }

@@ -95,6 +95,7 @@ func (p *Pkg) GarbageCollect() (vecFreed, matFreed int) {
 		}
 	}
 	p.resetCaches()
+	p.live -= vecFreed + matFreed
 	p.stats.GCRuns++
 	p.stats.NodesFreed += uint64(vecFreed + matFreed)
 	return vecFreed, matFreed

@@ -98,6 +98,15 @@ func WithApproximation(threshold float64) Option {
 	return func(s *Simulator) { s.approxThreshold = threshold }
 }
 
+// WithMaxNodes caps the decision-diagram unique tables at n live
+// nodes (see dd.Pkg.SetMaxNodes). When a gate application would
+// exceed the cap, StepForward returns an error matching
+// dd.ErrResourceExhausted and leaves the state at the last good
+// position instead of exhausting process memory.
+func WithMaxNodes(n int) Option {
+	return func(s *Simulator) { s.pkg.SetMaxNodes(n) }
+}
+
 // New creates a simulator for the circuit, starting in |0…0⟩.
 func New(circ *qc.Circuit, opts ...Option) *Simulator {
 	p := dd.New(circ.NQubits)
@@ -290,7 +299,7 @@ func (s *Simulator) applyGate(op *qc.Op) (dd.VEdge, error) {
 	if err != nil {
 		return dd.VZero(), err
 	}
-	return s.pkg.MultMV(g, s.state), nil
+	return s.pkg.MultMVChecked(g, s.state)
 }
 
 func (s *Simulator) gateDD(op *qc.Op) (dd.MEdge, error) {

@@ -111,7 +111,11 @@ func BuildFunctionality(p *dd.Pkg, c *qc.Circuit) (dd.MEdge, []StepRecord, error
 	p.IncRefM(u)
 	var trace []StepRecord
 	for _, op := range unitaryOps(c) {
-		next := p.MultMM(gateDD(p, op), u)
+		next, err := p.MultMMChecked(gateDD(p, op), u)
+		if err != nil {
+			p.DecRefM(u)
+			return dd.MZero(), trace, fmt.Errorf("verify: building functionality of %q: %w", c.Name, err)
+		}
 		p.IncRefM(next)
 		p.DecRefM(u)
 		u = next

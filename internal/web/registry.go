@@ -1,0 +1,172 @@
+package web
+
+// Session registry with per-session locking.
+//
+// The original server guarded every session of every user with one
+// global mutex, so a single long-running fast-forward froze the whole
+// tool. The registry replaces that with a two-level scheme: a
+// read-mostly map (RWMutex) from id to handle, and one mutex per
+// handle that serializes requests to that session only. Handlers
+// acquire a session with its lock already held and keep it for the
+// duration of the request, which also closes the lookup/re-lock TOCTOU
+// window of the old code — a session can no longer be stepped after a
+// concurrent eviction, because eviction marks the handle gone under
+// the same per-session lock.
+//
+// Lifecycle: sessions carry a last-access timestamp; a background
+// reaper evicts sessions idle past the TTL, and an LRU cap bounds the
+// number of live sessions. Evicted ids leave a bounded tombstone
+// behind so clients get 410 Gone (the session existed, stop retrying)
+// rather than 404 Not Found.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	errSessionUnknown = errors.New("web: unknown session")
+	errSessionGone    = errors.New("web: session expired or evicted")
+)
+
+// maxTombstones bounds the memory spent remembering evicted ids.
+const maxTombstones = 4096
+
+// handle is one registered session. Its mutex serializes all work on
+// the session; requests to different sessions never contend.
+type handle[T any] struct {
+	id         string
+	mu         sync.Mutex
+	val        T
+	gone       bool // set once under mu when the session is evicted
+	lastAccess atomic.Int64
+}
+
+// release unlocks the handle; pair with every successful acquire.
+func (h *handle[T]) release() { h.mu.Unlock() }
+
+// markGone flags the handle so in-flight lookups fail with 410. It is
+// called after the handle left the map, never while a map lock is
+// held, so it can wait for a running request to finish.
+func (h *handle[T]) markGone() {
+	h.mu.Lock()
+	h.gone = true
+	h.mu.Unlock()
+}
+
+type registry[T any] struct {
+	mu      sync.RWMutex
+	entries map[string]*handle[T]
+	tombs   map[string]struct{}
+	tombQ   []string
+	maxLive int           // LRU cap on live sessions (0 = unlimited)
+	ttl     time.Duration // idle eviction threshold (0 = never)
+}
+
+func newRegistry[T any](maxLive int, ttl time.Duration) *registry[T] {
+	return &registry[T]{
+		entries: make(map[string]*handle[T]),
+		tombs:   make(map[string]struct{}),
+		maxLive: maxLive,
+		ttl:     ttl,
+	}
+}
+
+// put registers a new session. When the registry is at its cap, the
+// least recently used session is evicted to make room.
+func (r *registry[T]) put(id string, v T, now time.Time) (evicted string) {
+	r.mu.Lock()
+	var victim *handle[T]
+	if r.maxLive > 0 && len(r.entries) >= r.maxLive {
+		for _, h := range r.entries {
+			if victim == nil || h.lastAccess.Load() < victim.lastAccess.Load() {
+				victim = h
+			}
+		}
+		if victim != nil {
+			r.dropLocked(victim.id)
+		}
+	}
+	h := &handle[T]{id: id, val: v}
+	h.lastAccess.Store(now.UnixNano())
+	r.entries[id] = h
+	r.mu.Unlock()
+	if victim != nil {
+		victim.markGone()
+		return victim.id
+	}
+	return ""
+}
+
+// acquire looks the session up and returns its handle with the
+// per-session lock held; the caller must release() it. Unknown ids
+// yield errSessionUnknown, evicted ones errSessionGone.
+func (r *registry[T]) acquire(id string, now time.Time) (*handle[T], error) {
+	r.mu.RLock()
+	h, ok := r.entries[id]
+	if !ok {
+		_, tomb := r.tombs[id]
+		r.mu.RUnlock()
+		if tomb {
+			return nil, errSessionGone
+		}
+		return nil, errSessionUnknown
+	}
+	r.mu.RUnlock()
+	h.mu.Lock()
+	if h.gone {
+		h.mu.Unlock()
+		return nil, errSessionGone
+	}
+	h.lastAccess.Store(now.UnixNano())
+	return h, nil
+}
+
+// reap evicts every session idle longer than the TTL and returns the
+// evicted ids.
+func (r *registry[T]) reap(now time.Time) []string {
+	if r.ttl <= 0 {
+		return nil
+	}
+	cutoff := now.Add(-r.ttl).UnixNano()
+	r.mu.Lock()
+	var victims []*handle[T]
+	for _, h := range r.entries {
+		if h.lastAccess.Load() < cutoff {
+			victims = append(victims, h)
+		}
+	}
+	ids := make([]string, 0, len(victims))
+	for _, h := range victims {
+		r.dropLocked(h.id)
+		ids = append(ids, h.id)
+	}
+	r.mu.Unlock()
+	for _, h := range victims {
+		h.markGone()
+	}
+	return ids
+}
+
+// dropLocked removes id from the live map and records a tombstone.
+// Caller holds r.mu and must markGone() the handle afterwards.
+func (r *registry[T]) dropLocked(id string) {
+	delete(r.entries, id)
+	if _, ok := r.tombs[id]; !ok {
+		r.tombs[id] = struct{}{}
+		r.tombQ = append(r.tombQ, id)
+		if len(r.tombQ) > maxTombstones {
+			delete(r.tombs, r.tombQ[0])
+			r.tombQ = r.tombQ[1:]
+		}
+	}
+}
+
+// size reports the number of live sessions.
+func (r *registry[T]) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,133 @@
+package web
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryAcquireRelease(t *testing.T) {
+	r := newRegistry[int](0, 0)
+	now := time.Now()
+	r.put("a", 1, now)
+	h, err := r.acquire("a", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.val != 1 {
+		t.Fatalf("val = %d", h.val)
+	}
+	h.release()
+	if _, err := r.acquire("missing", now); !errors.Is(err, errSessionUnknown) {
+		t.Fatalf("missing id: %v", err)
+	}
+}
+
+// TestRegistryPerSessionLocking proves the tentpole property: holding
+// one session's lock must not block requests to other sessions (the
+// old server serialized everything behind a single mutex).
+func TestRegistryPerSessionLocking(t *testing.T) {
+	r := newRegistry[int](0, 0)
+	now := time.Now()
+	r.put("a", 1, now)
+	r.put("b", 2, now)
+	ha, err := r.acquire("a", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ha.release()
+	done := make(chan struct{})
+	go func() {
+		hb, err := r.acquire("b", time.Now())
+		if err == nil {
+			hb.release()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquiring session b blocked while session a's lock was held")
+	}
+}
+
+func TestRegistryTTLReap(t *testing.T) {
+	r := newRegistry[int](0, time.Minute)
+	base := time.Now()
+	r.put("old", 1, base)
+	r.put("fresh", 2, base.Add(2*time.Minute))
+	ids := r.reap(base.Add(3 * time.Minute))
+	if len(ids) != 1 || ids[0] != "old" {
+		t.Fatalf("reaped %v, want [old]", ids)
+	}
+	if _, err := r.acquire("old", base.Add(3*time.Minute)); !errors.Is(err, errSessionGone) {
+		t.Fatalf("reaped session: %v, want gone", err)
+	}
+	h, err := r.acquire("fresh", base.Add(3*time.Minute))
+	if err != nil {
+		t.Fatalf("fresh session: %v", err)
+	}
+	h.release()
+}
+
+func TestRegistryLRUCap(t *testing.T) {
+	r := newRegistry[int](2, 0)
+	base := time.Now()
+	r.put("s1", 1, base)
+	r.put("s2", 2, base.Add(time.Second))
+	// Touch s1 so s2 becomes least recently used.
+	h, err := r.acquire("s1", base.Add(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.release()
+	if evicted := r.put("s3", 3, base.Add(3*time.Second)); evicted != "s2" {
+		t.Fatalf("evicted %q, want s2", evicted)
+	}
+	if _, err := r.acquire("s2", base.Add(3*time.Second)); !errors.Is(err, errSessionGone) {
+		t.Fatalf("evicted session: %v, want gone", err)
+	}
+	if r.size() != 2 {
+		t.Fatalf("size %d, want 2", r.size())
+	}
+}
+
+func TestRegistryTombstonesBounded(t *testing.T) {
+	r := newRegistry[int](1, 0)
+	base := time.Now()
+	for i := 0; i < maxTombstones+10; i++ {
+		r.put(fmt.Sprintf("s%d", i), i, base.Add(time.Duration(i)))
+	}
+	r.mu.RLock()
+	n := len(r.tombs)
+	r.mu.RUnlock()
+	if n > maxTombstones {
+		t.Fatalf("%d tombstones, cap is %d", n, maxTombstones)
+	}
+	// The oldest tombstone fell off: that id now reads as unknown.
+	if _, err := r.acquire("s0", base); !errors.Is(err, errSessionUnknown) {
+		t.Fatalf("expired tombstone: %v, want unknown", err)
+	}
+}
+
+func TestRegistryConcurrentPutAcquireReap(t *testing.T) {
+	r := newRegistry[int](8, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("s%d-%d", g, i)
+				r.put(id, i, time.Now())
+				if h, err := r.acquire(id, time.Now()); err == nil {
+					h.release()
+				}
+				r.reap(time.Now())
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,17 +2,22 @@ package web
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"quantumdd/internal/algorithms"
+	"quantumdd/internal/dd"
 	"quantumdd/internal/qc"
 	"quantumdd/internal/sim"
 	"quantumdd/internal/vis"
 )
 
 // Handler returns the tool's HTTP handler: the embedded page at "/",
-// the color-wheel legend, and the JSON API under /api/.
+// the color-wheel legend, and the JSON API under /api/, all wrapped in
+// the hardening middleware (request IDs, body caps, deadlines, panic
+// recovery, access logging).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
@@ -39,24 +44,46 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/verification/{id}/export", s.handleVerifyExport)
 	mux.HandleFunc("POST /api/noisy", s.handleNoisy)
 	mux.HandleFunc("POST /api/functionality", s.handleFunctionality)
-	return mux
+	return s.withMiddleware(mux)
 }
 
-// ListenAndServe starts the tool on addr.
+// ListenAndServe starts the tool on addr with server-side read/write/
+// idle timeouts. Production deployments needing graceful shutdown
+// should build their own http.Server around Handler (see cmd/ddvis).
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeoutFor(s.cfg.RequestTimeout),
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// writeTimeoutFor leaves headroom over the per-request deadline so the
+// deadline (which produces a useful JSON response) fires first.
+func writeTimeoutFor(requestTimeout time.Duration) time.Duration {
+	if requestTimeout <= 0 {
+		return time.Minute
+	}
+	return requestTimeout + 5*time.Second
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logger.Error("response encoding failed",
+			"requestId", requestID(r), "path", r.URL.Path, "error", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	s.writeJSON(w, r, status, apiError{Error: err.Error(), Code: code, RequestID: requestID(r)})
 }
 
 // Example is an entry of the "Example Algorithms" list.
@@ -96,7 +123,7 @@ func Examples() []Example {
 }
 
 func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Examples())
+	s.writeJSON(w, r, http.StatusOK, Examples())
 }
 
 type newSimRequest struct {
@@ -106,35 +133,31 @@ type newSimRequest struct {
 
 func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
 	var req newSimRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
 	circ, err := ParseCircuit(req.Code, req.Format)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	id := s.newID("sim")
-	sess := newSimSession(circ, s.seed)
-	s.sims[id] = sess
-	s.mu.Unlock()
-	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"id":    id,
-		"frame": simFrame(sess, style, "initial state |0…0⟩"),
-	})
-}
-
-func (s *Server) simSession(r *http.Request) (*simSession, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sims[r.PathValue("id")]
-	if !ok {
-		return nil, fmt.Errorf("web: unknown simulation session %q", r.PathValue("id"))
+	if err := s.admit(circ); err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, err)
+		return
 	}
-	return sess, nil
+	sess := newSimSession(circ, s.cfg.Seed, s.cfg.MaxNodes)
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	// Render before publishing: the session is not yet reachable, so no
+	// lock is needed and a rendering panic cannot leak a broken session.
+	frame := simFrame(sess, style, "initial state |0…0⟩")
+	id := s.newID("sim")
+	if evicted := s.sims.put(id, sess, time.Now()); evicted != "" {
+		s.logger.Info("evicted LRU session", "evicted", evicted, "for", id)
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]interface{}{
+		"id":    id,
+		"frame": frame,
+	})
 }
 
 type stepRequest struct {
@@ -144,35 +167,58 @@ type stepRequest struct {
 type stepResponse struct {
 	Frame   Frame          `json:"frame"`
 	Event   string         `json:"event,omitempty"`
+	Error   string         `json:"error,omitempty"`
 	Pending *PendingChoice `json:"pending,omitempty"`
 	AtEnd   bool           `json:"atEnd"`
 	AtStart bool           `json:"atStart"`
 }
 
+// stepErrorCaption renders a step failure as a frame caption, keeping
+// resource exhaustion human-readable ("diagram too large").
+func stepErrorCaption(err error) string {
+	if errors.Is(err, dd.ErrResourceExhausted) {
+		return "diagram too large — node budget exceeded"
+	}
+	return "step failed: " + err.Error()
+}
+
+// writeStepError answers a failed or interrupted step with the
+// partial-progress frame and the error message, so the client keeps
+// its place instead of facing a dead tab.
+func (s *Server) writeStepError(w http.ResponseWriter, r *http.Request, sess *simSession, style vis.Style, err error) {
+	caption := stepErrorCaption(err)
+	s.writeJSON(w, r, http.StatusOK, stepResponse{
+		Frame:   simFrame(sess, style, caption),
+		Event:   caption,
+		Error:   err.Error(),
+		AtEnd:   sess.sim.AtEnd(),
+		AtStart: sess.sim.AtStart(),
+	})
+}
+
 func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.simSession(r)
+	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
+	defer h.release()
+	sess := h.val
 	var req stepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	caption := ""
 	switch req.Action {
 	case "forward":
 		if pending := sess.pending(); pending != nil {
-			writeJSON(w, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
+			s.writeJSON(w, r, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
 			return
 		}
 		ev, err := sess.sim.StepForward()
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeStepError(w, r, sess, style, err)
 			return
 		}
 		caption = describeEvent(sess, ev)
@@ -185,14 +231,22 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 		sess.sim.Rewind()
 		caption = "initial state |0…0⟩"
 	case "break", "end":
+		ctx := r.Context()
 		for !sess.sim.AtEnd() {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				// The fast-forward loop is bounded by the request
+				// deadline: return the progress made so far.
+				s.writeStepError(w, r, sess, style,
+					fmt.Errorf("web: fast-forward interrupted at op %d/%d: %w", sess.sim.Pos(), len(sess.sim.Circuit().Ops), ctxErr))
+				return
+			}
 			if pending := sess.pending(); pending != nil {
-				writeJSON(w, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
+				s.writeJSON(w, r, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
 				return
 			}
 			ev, err := sess.sim.StepForward()
 			if err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
+				s.writeStepError(w, r, sess, style, err)
 				return
 			}
 			caption = describeEvent(sess, ev)
@@ -201,10 +255,10 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
 		return
 	}
-	writeJSON(w, http.StatusOK, stepResponse{
+	s.writeJSON(w, r, http.StatusOK, stepResponse{
 		Frame:   simFrame(sess, style, caption),
 		Event:   caption,
 		AtEnd:   sess.sim.AtEnd(),
@@ -239,30 +293,29 @@ type chooseRequest struct {
 }
 
 func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.simSession(r)
+	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
+	defer h.release()
+	sess := h.val
 	var req chooseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := sess.choose(req.Outcome); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	ev, err := sess.sim.StepForward()
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
+	ev, err := sess.sim.StepForward()
+	if err != nil {
+		s.writeStepError(w, r, sess, style, err)
+		return
+	}
 	caption := describeEvent(sess, ev)
-	writeJSON(w, http.StatusOK, stepResponse{
+	s.writeJSON(w, r, http.StatusOK, stepResponse{
 		Frame:   simFrame(sess, style, caption),
 		Event:   caption,
 		AtEnd:   sess.sim.AtEnd(),
@@ -271,15 +324,15 @@ func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimGet(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.simSession(r)
+	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer h.release()
+	sess := h.val
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	writeJSON(w, http.StatusOK, stepResponse{
+	s.writeJSON(w, r, http.StatusOK, stepResponse{
 		Frame:   simFrame(sess, style, ""),
 		Pending: sess.pending(),
 		AtEnd:   sess.sim.AtEnd(),
@@ -308,33 +361,36 @@ type noisyResponse struct {
 // the interactive stepping view.
 func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
 	var req noisyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
 	circ, err := ParseCircuit(req.Code, req.Format)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	if err := s.admit(circ); err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, err)
 		return
 	}
 	if req.Trajectories <= 0 {
 		req.Trajectories = 500
 	}
 	if req.Trajectories > 100000 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: at most 100000 trajectories"))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("web: at most 100000 trajectories"))
 		return
 	}
 	model := sim.NoiseModel{Depolarizing: req.Depolarizing, BitFlip: req.BitFlip, PhaseFlip: req.PhaseFlip}
-	res, err := sim.RunNoisy(circ, model, req.Trajectories, s.seed)
+	res, err := sim.RunNoisy(circ, model, req.Trajectories, s.cfg.Seed)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	counts := make(map[string]int, len(res.Counts))
 	for idx, n := range res.Counts {
 		counts[fmt.Sprintf("%0*b", circ.NQubits, idx)] = n
 	}
-	writeJSON(w, http.StatusOK, noisyResponse{
+	s.writeJSON(w, r, http.StatusOK, noisyResponse{
 		Trajectories: res.Trajectories,
 		ErrorEvents:  res.ErrorEvents,
 		MeanNodes:    res.MeanNodes,
@@ -345,32 +401,30 @@ func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
 // handleSimExport serves the current diagram as a standalone artifact
 // (format=svg or dot) for download from the tool.
 func (s *Server) handleSimExport(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.simSession(r)
+	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer h.release()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	g := vis.FromVector(sess.sim.State())
-	writeExport(w, g, style, r.URL.Query().Get("format"))
+	g := vis.FromVector(h.val.sim.State())
+	s.writeExport(w, r, g, style, r.URL.Query().Get("format"))
 }
 
 func (s *Server) handleVerifyExport(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.verifySession(r)
+	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer h.release()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	g := vis.FromMatrix(sess.x)
-	writeExport(w, g, style, r.URL.Query().Get("format"))
+	g := vis.FromMatrix(h.val.x)
+	s.writeExport(w, r, g, style, r.URL.Query().Get("format"))
 }
 
-func writeExport(w http.ResponseWriter, g *vis.Graph, style vis.Style, format string) {
+func (s *Server) writeExport(w http.ResponseWriter, r *http.Request, g *vis.Graph, style vis.Style, format string) {
 	switch format {
 	case "dot":
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
@@ -379,7 +433,7 @@ func writeExport(w http.ResponseWriter, g *vis.Graph, style vis.Style, format st
 		w.Header().Set("Content-Type", "image/svg+xml")
 		fmt.Fprint(w, g.SVG(style))
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown export format %q (want svg or dot)", format))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("web: unknown export format %q (want svg or dot)", format))
 	}
 }
 
@@ -394,22 +448,29 @@ type functionalityRequest struct {
 // as a matrix diagram and render it.
 func (s *Server) handleFunctionality(w http.ResponseWriter, r *http.Request) {
 	var req functionalityRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
 	circ, err := ParseCircuit(req.Code, req.Format)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	if err := s.admit(circ); err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, err)
 		return
 	}
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	frame, err := BuildFunctionalityFrame(circ, req.Inverse, style)
+	frame, err := buildFunctionalityFrame(circ, req.Inverse, style, s.cfg.MaxNodes)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		if errors.Is(err, dd.ErrResourceExhausted) {
+			s.writeErr(w, r, http.StatusUnprocessableEntity, codeResourceExhausted, err)
+			return
+		}
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"frame": frame})
+	s.writeJSON(w, r, http.StatusOK, map[string]interface{}{"frame": frame})
 }
 
 type newVerifyRequest struct {
@@ -420,44 +481,42 @@ type newVerifyRequest struct {
 
 func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
 	var req newVerifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
 	left, err := ParseCircuit(req.Left, req.Format)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("left circuit: %w", err))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("left circuit: %w", err))
 		return
 	}
 	right, err := ParseCircuit(req.Right, req.Format)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("right circuit: %w", err))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("right circuit: %w", err))
 		return
 	}
-	sess, err := newVerifySession(left, right)
+	if err := s.admit(left); err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, fmt.Errorf("left circuit: %w", err))
+		return
+	}
+	if err := s.admit(right); err != nil {
+		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, fmt.Errorf("right circuit: %w", err))
+		return
+	}
+	sess, err := newVerifySession(left, right, s.cfg.MaxNodes)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	id := s.newID("verify")
-	s.verifies[id] = sess
-	s.mu.Unlock()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"id":    id,
-		"frame": verifyFrame(sess, style, "identity"),
-	})
-}
-
-func (s *Server) verifySession(r *http.Request) (*verifySession, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.verifies[r.PathValue("id")]
-	if !ok {
-		return nil, fmt.Errorf("web: unknown verification session %q", r.PathValue("id"))
+	frame := verifyFrame(sess, style, "identity")
+	id := s.newID("verify")
+	if evicted := s.verifies.put(id, sess, time.Now()); evicted != "" {
+		s.logger.Info("evicted LRU session", "evicted", evicted, "for", id)
 	}
-	return sess, nil
+	s.writeJSON(w, r, http.StatusOK, map[string]interface{}{
+		"id":    id,
+		"frame": frame,
+	})
 }
 
 type verifyStepRequest struct {
@@ -468,37 +527,56 @@ type verifyStepRequest struct {
 type verifyStepResponse struct {
 	Frame    Frame  `json:"frame"`
 	Applied  string `json:"applied,omitempty"`
+	Error    string `json:"error,omitempty"`
 	Identity string `json:"identity"`
 	LeftPos  int    `json:"leftPos"`
 	RightPos int    `json:"rightPos"`
 }
 
+// writeVerifyStepError mirrors writeStepError for the verification
+// tab: resource exhaustion keeps the last good diagram on screen with
+// a "too large" caption; other errors are client mistakes (400).
+func (s *Server) writeVerifyStepError(w http.ResponseWriter, r *http.Request, sess *verifySession, style vis.Style, err error) {
+	if !errors.Is(err, dd.ErrResourceExhausted) {
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
+		return
+	}
+	caption := stepErrorCaption(err)
+	s.writeJSON(w, r, http.StatusOK, verifyStepResponse{
+		Frame:    verifyFrame(sess, style, caption),
+		Error:    err.Error(),
+		Identity: sess.identity(),
+		LeftPos:  sess.li,
+		RightPos: sess.ri,
+	})
+}
+
 func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.verifySession(r)
+	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
+	defer h.release()
+	sess := h.val
 	var req verifyStepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	applied := ""
 	switch req.Action {
 	case "forward":
 		gate, err := sess.stepSide(req.Side)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeVerifyStepError(w, r, sess, style, err)
 			return
 		}
 		applied = gate
 	case "barrier":
 		n, err := sess.runToBarrier(req.Side)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeVerifyStepError(w, r, sess, style, err)
 			return
 		}
 		applied = fmt.Sprintf("%d gate(s)", n)
@@ -507,11 +585,10 @@ func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
 			applied = "undone"
 		}
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
+		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, fmt.Errorf("web: unknown action %q", req.Action))
 		return
 	}
-	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	writeJSON(w, http.StatusOK, verifyStepResponse{
+	s.writeJSON(w, r, http.StatusOK, verifyStepResponse{
 		Frame:    verifyFrame(sess, style, applied),
 		Applied:  applied,
 		Identity: sess.identity(),
@@ -521,15 +598,15 @@ func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerifyGet(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.verifySession(r)
+	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.sessionErr(w, r, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer h.release()
+	sess := h.val
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	writeJSON(w, http.StatusOK, verifyStepResponse{
+	s.writeJSON(w, r, http.StatusOK, verifyStepResponse{
 		Frame:    verifyFrame(sess, style, ""),
 		Identity: sess.identity(),
 		LeftPos:  sess.li,

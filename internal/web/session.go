@@ -9,8 +9,12 @@ package web
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"quantumdd/internal/dd"
 	"quantumdd/internal/qasm"
@@ -61,9 +65,9 @@ type simSession struct {
 
 const superpositionEps = 1e-12
 
-func newSimSession(circ *qc.Circuit, seed int64) *simSession {
+func newSimSession(circ *qc.Circuit, seed int64, maxNodes int) *simSession {
 	s := &simSession{}
-	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithChooser(func(op *qc.Op, q int, p0, p1 float64) int {
+	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(func(op *qc.Op, q int, p0, p1 float64) int {
 		// The server only steps after a choice is registered, so a
 		// missing choice is a protocol violation handled in pending().
 		if s.forced == nil {
@@ -129,7 +133,7 @@ type verifySnapshot struct {
 	li, ri int
 }
 
-func newVerifySession(left, right *qc.Circuit) (*verifySession, error) {
+func newVerifySession(left, right *qc.Circuit, maxNodes int) (*verifySession, error) {
 	if left.NQubits != right.NQubits {
 		return nil, fmt.Errorf("web: circuits must have the same number of qubits (%d vs %d)", left.NQubits, right.NQubits)
 	}
@@ -137,6 +141,7 @@ func newVerifySession(left, right *qc.Circuit) (*verifySession, error) {
 		return nil, errors.New("web: measurement, reset and classically-controlled operations are not supported in verification")
 	}
 	p := dd.New(left.NQubits)
+	p.SetMaxNodes(maxNodes)
 	v := &verifySession{pkg: p, left: left, right: right, x: p.Ident()}
 	v.pkg.IncRefM(v.x)
 	return v, nil
@@ -178,15 +183,21 @@ func (v *verifySession) stepSide(side string) (string, error) {
 	if *pos >= len(circ.Ops) {
 		return "", nil
 	}
-	v.history = append(v.history, verifySnapshot{x: v.x, li: v.li, ri: v.ri})
-	v.pkg.IncRefM(v.x) // snapshot reference
 	op := &circ.Ops[*pos]
 	var next dd.MEdge
+	var err error
 	if side == "left" {
-		next = v.pkg.MultMM(v.gateDD(op, false), v.x)
+		next, err = v.pkg.MultMMChecked(v.gateDD(op, false), v.x)
 	} else {
-		next = v.pkg.MultMM(v.x, v.gateDD(op, true))
+		next, err = v.pkg.MultMMChecked(v.x, v.gateDD(op, true))
 	}
+	if err != nil {
+		// The diagram is unchanged; the session keeps its position so
+		// the user can undo their way back below the budget.
+		return "", err
+	}
+	v.history = append(v.history, verifySnapshot{x: v.x, li: v.li, ri: v.ri})
+	v.pkg.IncRefM(v.x) // snapshot reference
 	v.pkg.IncRefM(next)
 	v.pkg.DecRefM(v.x)
 	v.x = next
@@ -269,28 +280,93 @@ func (v *verifySession) identity() string {
 }
 
 // Server hosts the tool: static page plus JSON API, with an in-memory
-// session store.
+// session store governed by the limits in Config.
 type Server struct {
-	mu       sync.Mutex
-	nextID   int
-	sims     map[string]*simSession
-	verifies map[string]*verifySession
-	seed     int64
+	cfg    Config
+	logger *slog.Logger
+
+	nextSessID atomic.Int64
+	nextReqID  atomic.Int64
+
+	sims     *registry[*simSession]
+	verifies *registry[*verifySession]
+
+	reaperStop chan struct{}
+	closeOnce  sync.Once
 }
 
-// NewServer creates an empty session store. The seed makes sampled
-// measurement outcomes reproducible across restarts.
+// NewServer creates a session store with the default limits. The seed
+// makes sampled measurement outcomes reproducible across restarts.
 func NewServer(seed int64) *Server {
-	return &Server{
-		sims:     map[string]*simSession{},
-		verifies: map[string]*verifySession{},
-		seed:     seed,
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	return NewServerWithConfig(cfg)
+}
+
+// NewServerWithConfig creates a session store with explicit limits
+// (zero values disable the corresponding limit). When SessionTTL is
+// set, a background reaper evicts idle sessions until Close is called.
+func NewServerWithConfig(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:      cfg,
+		logger:   logger,
+		sims:     newRegistry[*simSession](cfg.MaxSessions, cfg.SessionTTL),
+		verifies: newRegistry[*verifySession](cfg.MaxSessions, cfg.SessionTTL),
+	}
+	if cfg.SessionTTL > 0 {
+		s.reaperStop = make(chan struct{})
+		go s.reaper()
+	}
+	return s
+}
+
+// Close stops the background reaper. Sessions are dropped with the
+// server itself; Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.reaperStop != nil {
+			close(s.reaperStop)
+		}
+	})
+}
+
+// reaper periodically evicts sessions idle past the TTL.
+func (s *Server) reaper() {
+	interval := s.cfg.SessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case now := <-t.C:
+			s.reapIdle(now)
+		}
 	}
 }
 
+// reapIdle evicts idle sessions once and reports how many went. Split
+// from the reaper loop so tests can trigger eviction deterministically.
+func (s *Server) reapIdle(now time.Time) int {
+	reaped := append(s.sims.reap(now), s.verifies.reap(now)...)
+	if len(reaped) > 0 {
+		s.logger.Info("reaped idle sessions", "count", len(reaped), "ids", reaped)
+	}
+	return len(reaped)
+}
+
 func (s *Server) newID(prefix string) string {
-	s.nextID++
-	return fmt.Sprintf("%s-%d", prefix, s.nextID)
+	return fmt.Sprintf("%s-%d", prefix, s.nextSessID.Add(1))
 }
 
 // styleFrom maps query parameters onto a vis.Style.
@@ -378,6 +454,13 @@ func (v *verifySession) nodeCount() int        { return dd.SizeM(v.x) }
 // the verification tab: it constructs the (inverse) functionality of
 // one circuit (Ex. 14) and returns its rendered frame.
 func BuildFunctionalityFrame(circ *qc.Circuit, inverse bool, style vis.Style) (Frame, error) {
+	return buildFunctionalityFrame(circ, inverse, style, 0)
+}
+
+// buildFunctionalityFrame is BuildFunctionalityFrame with a node
+// budget: the construction aborts with dd.ErrResourceExhausted when
+// the functionality diagram would exceed maxNodes (0 = unlimited).
+func buildFunctionalityFrame(circ *qc.Circuit, inverse bool, style vis.Style, maxNodes int) (Frame, error) {
 	use := circ
 	if inverse {
 		inv, err := circ.Inverse()
@@ -387,6 +470,7 @@ func BuildFunctionalityFrame(circ *qc.Circuit, inverse bool, style vis.Style) (F
 		use = inv
 	}
 	p := dd.New(use.NQubits)
+	p.SetMaxNodes(maxNodes)
 	u, _, err := verify.BuildFunctionality(p, use)
 	if err != nil {
 		return Frame{}, err

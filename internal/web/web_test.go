@@ -16,7 +16,9 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(NewServer(1).Handler())
+	ws := NewServer(1)
+	t.Cleanup(ws.Close)
+	srv := httptest.NewServer(ws.Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
