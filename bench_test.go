@@ -127,6 +127,25 @@ func BenchmarkMicroMultMV(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroAddV times vector addition of two structurally
+// distinct wide states (GHZ ± phase layer), the second hot primitive
+// of DD simulation next to MultMV.
+func BenchmarkMicroAddV(b *testing.B) {
+	s := sim.New(algorithms.GHZ(24))
+	if _, err := s.RunToEnd(); err != nil {
+		b.Fatal(err)
+	}
+	pkg := s.Pkg()
+	a := s.State()
+	t := pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(qc.T, nil)), 7)
+	c := pkg.MultMV(t, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pkg.AddV(a, c)
+	}
+}
+
 // BenchmarkMicroSample times single-path weak simulation on GHZ(24).
 func BenchmarkMicroSample(b *testing.B) {
 	s := sim.New(algorithms.GHZ(24))

@@ -497,7 +497,7 @@ func runA1(w io.Writer) (Summary, error) {
 // runA2 quantifies the compute tables: repeated application of the
 // same circuit layer with caches on vs off.
 func runA2(w io.Writer) (Summary, error) {
-	run := func(disable bool) (hits, lookups uint64) {
+	run := func(disable bool) dd.Stats {
 		p := dd.New(8)
 		p.CachesDisabled = disable
 		st := p.ZeroState()
@@ -510,16 +510,17 @@ func runA2(w io.Writer) (Summary, error) {
 				st = p.MultMV(g, st)
 			}
 		}
-		s := p.Stats()
-		return s.CacheHits, s.CacheLookups
+		return p.Stats()
 	}
-	hitsOn, lookupsOn := run(false)
-	hitsOff, lookupsOff := run(true)
-	rateOn := float64(hitsOn) / float64(lookupsOn)
-	rateOff := float64(hitsOff) / float64(lookupsOff)
-	fmt.Fprintf(w, "%-12s %12s %12s %10s\n", "caches", "lookups", "hits", "hit rate")
-	fmt.Fprintf(w, "%-12s %12d %12d %10.3f\n", "enabled", lookupsOn, hitsOn, rateOn)
-	fmt.Fprintf(w, "%-12s %12d %12d %10.3f\n", "disabled", lookupsOff, hitsOff, rateOff)
+	on := run(false)
+	off := run(true)
+	rateOn := float64(on.CacheHits) / float64(on.CacheLookups)
+	rateOff := float64(off.CacheHits) / float64(off.CacheLookups)
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %10s %10s\n", "caches", "lookups", "hits", "hit rate", "ct stores", "ct evict")
+	fmt.Fprintf(w, "%-12s %12d %12d %10.3f %10d %10d\n", "enabled", on.CacheLookups, on.CacheHits, rateOn, on.CTStores, on.CTEvictions)
+	fmt.Fprintf(w, "%-12s %12d %12d %10.3f %10d %10d\n", "disabled", off.CacheLookups, off.CacheHits, rateOff, off.CTStores, off.CTEvictions)
+	fmt.Fprintf(w, "unique-table load: vector %.3f, matrix %.3f; chain collisions: %d\n",
+		on.UniqueLoadV, on.UniqueLoadM, on.UTCollisions)
 	if rateOn <= rateOff {
 		return nil, fmt.Errorf("enabled caches do not outperform disabled ones (%v vs %v)", rateOn, rateOff)
 	}

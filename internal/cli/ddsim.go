@@ -153,8 +153,9 @@ func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stat
 	if stats {
 		fmt.Fprint(stdout, "circuit stats: ", circStats(s))
 		st := s.Pkg().Stats()
-		fmt.Fprintf(stdout, "dd stats: vector nodes created=%d unique hits=%d cache hits=%d/%d gc runs=%d\n",
-			st.NodesCreatedV, st.UniqueHitsV, st.CacheHits, st.CacheLookups, st.GCRuns)
+		fmt.Fprintf(stdout, "dd stats: vector nodes created=%d unique hits=%d cache hits=%d/%d gc runs=%d recycled=%d table load=%.2f\n",
+			st.NodesCreatedV, st.UniqueHitsV, st.CacheHits, st.CacheLookups, st.GCRuns,
+			st.NodesRecycledV+st.NodesRecycledM, st.UniqueLoadV)
 	}
 	return 0
 }

@@ -35,16 +35,36 @@ const (
 // Table is a unique table of real numbers with tolerance-based lookup.
 // Complex values are canonicalized component-wise. A Table is not safe
 // for concurrent use; decision-diagram packages own exactly one.
+//
+// The store is an open-addressed hash table over half-open buckets of
+// width 2·tol (the complex-table layout of Zulehner et al., ICCAD
+// 2019): a value's bucket index is floor(v/(2·tol)), and a lookup
+// probes the value's own bucket plus its two neighbours, so any stored
+// representative within tol is found. Open addressing with linear
+// probing replaces the earlier Go map because canonical-value lookups
+// sit on the hot path of every DD node normalization.
 type Table struct {
 	tol     float64
 	inv     float64 // 1/bucket width
-	buckets map[int64][]float64
+	slots   []slot  // power-of-two open-addressed bucket store
+	mask    uint64
+	used    int // occupied slots
 	lookups uint64
 	hits    uint64
 }
 
+// slot holds one bucket: all canonical representatives whose bucket
+// index equals key. Most buckets hold exactly one value.
+type slot struct {
+	key  int64
+	vals []float64
+}
+
 // NewTable returns a table using DefaultTolerance.
 func NewTable() *Table { return NewTableTol(DefaultTolerance) }
+
+// minSlots keeps even tiny tables collision-light after seeding.
+const minSlots = 256
 
 // NewTableTol returns a table identifying reals within tol of each
 // other. tol must be positive.
@@ -53,9 +73,10 @@ func NewTableTol(tol float64) *Table {
 		panic(fmt.Sprintf("cnum: tolerance must be positive, got %g", tol))
 	}
 	t := &Table{
-		tol:     tol,
-		inv:     1 / (2 * tol),
-		buckets: make(map[int64][]float64, 1024),
+		tol:   tol,
+		inv:   1 / (2 * tol),
+		slots: make([]slot, minSlots),
+		mask:  minSlots - 1,
 	}
 	// Seed with the values that must be exactly representable so that
 	// IsZero/IsOne tests on canonical values are exact comparisons.
@@ -63,6 +84,32 @@ func NewTableTol(tol float64) *Table {
 		t.LookupReal(v)
 	}
 	return t
+}
+
+// findSlot returns the slot holding bucket key, or the empty slot
+// where that bucket would be inserted.
+func (t *Table) findSlot(key int64) *slot {
+	i := hashInt64(key) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.vals == nil || s.key == key {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array and rehashes the occupied buckets.
+func (t *Table) grow() {
+	old := t.slots
+	t.slots = make([]slot, 2*len(old))
+	t.mask = uint64(len(t.slots)) - 1
+	for i := range old {
+		if old[i].vals == nil {
+			continue
+		}
+		*t.findSlot(old[i].key) = old[i]
+	}
 }
 
 // Tolerance reports the identification radius of the table.
@@ -83,14 +130,27 @@ func (t *Table) LookupReal(v float64) float64 {
 	key := int64(math.Floor(v * t.inv))
 	// The candidate may fall in the bucket of v or a neighbour.
 	for _, k := range [3]int64{key, key - 1, key + 1} {
-		for _, c := range t.buckets[k] {
+		s := t.findSlot(k)
+		if s.vals == nil {
+			continue
+		}
+		for _, c := range s.vals {
 			if math.Abs(c-v) <= t.tol {
 				t.hits++
 				return c
 			}
 		}
 	}
-	t.buckets[key] = append(t.buckets[key], v)
+	s := t.findSlot(key)
+	if s.vals == nil {
+		t.used++
+		if 4*t.used > 3*len(t.slots) {
+			t.grow()
+			s = t.findSlot(key)
+		}
+		s.key = key
+	}
+	s.vals = append(s.vals, v)
 	return v
 }
 
@@ -103,10 +163,53 @@ func (t *Table) Lookup(c complex128) complex128 {
 // Size reports the number of distinct canonical reals stored.
 func (t *Table) Size() int {
 	n := 0
-	for _, b := range t.buckets {
-		n += len(b)
+	for i := range t.slots {
+		n += len(t.slots[i].vals)
 	}
 	return n
+}
+
+// Multiply-xor mixing constants (golden-ratio multipliers of the
+// splitmix64 finalizer), shared by the hash helpers below and the
+// decision-diagram unique tables built on top of them. These replace
+// a byte-wise FNV loop: the hashes sit on the hot path of every
+// canonical-value lookup, where a handful of multiply/shift
+// instructions beat sixteen loop iterations.
+const (
+	mixMul1 = 0x9e3779b97f4a7c15
+	mixMul2 = 0xbf58476d1ce4e5b9
+	mixMul3 = 0x94d049bb133111eb
+)
+
+// mix64 finalizes a 64-bit value with the splitmix64 avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= mixMul2
+	x ^= x >> 27
+	x *= mixMul3
+	x ^= x >> 31
+	return x
+}
+
+// hashInt64 scrambles a bucket index into a table slot hash.
+func hashInt64(k int64) uint64 {
+	return mix64(uint64(k) * mixMul1)
+}
+
+// HashReal returns the bucket hash of a canonical real value: a mixed
+// digest of its bit pattern. Canonical values produced by the same
+// Table are bit-identical, so this hash is stable and may be
+// precomputed and combined (see HashComplex) to key hash tables over
+// canonical weights without ever comparing floats tolerantly again.
+func HashReal(v float64) uint64 {
+	return mix64(math.Float64bits(v) * mixMul1)
+}
+
+// HashComplex returns the bucket hash of a canonical complex value,
+// mixing the components asymmetrically so that conjugates and
+// swapped components land in different buckets.
+func HashComplex(c complex128) uint64 {
+	return mix64(math.Float64bits(real(c))*mixMul1 ^ math.Float64bits(imag(c))*mixMul2)
 }
 
 // ApproxEqual reports whether a and b are component-wise within tol.

@@ -53,18 +53,7 @@ func (p *Pkg) ExpectationZ(e VEdge, q int) float64 {
 // are where entanglement concentrates.
 func (p *Pkg) SizeByLevelV(e VEdge) []int {
 	counts := make([]int, p.nqubits)
-	seen := make(map[*VNode]bool)
-	var walk func(n *VNode)
-	walk = func(n *VNode) {
-		if n == vTerminal || seen[n] {
-			return
-		}
-		seen[n] = true
-		counts[n.V]++
-		walk(n.E[0].N)
-		walk(n.E[1].N)
-	}
-	walk(e.N)
+	visitV(e.N, func(n *VNode) { counts[n.V]++ })
 	return counts
 }
 
@@ -72,19 +61,7 @@ func (p *Pkg) SizeByLevelV(e VEdge) []int {
 // qubit level.
 func (p *Pkg) SizeByLevelM(e MEdge) []int {
 	counts := make([]int, p.nqubits)
-	seen := make(map[*MNode]bool)
-	var walk func(n *MNode)
-	walk = func(n *MNode) {
-		if n == mTerminal || seen[n] {
-			return
-		}
-		seen[n] = true
-		counts[n.V]++
-		for _, c := range n.E {
-			walk(c.N)
-		}
-	}
-	walk(e.N)
+	visitM(e.N, func(n *MNode) { counts[n.V]++ })
 	return counts
 }
 

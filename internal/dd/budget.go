@@ -89,9 +89,21 @@ func (p *Pkg) checked(op func()) (err error) {
 	return nil
 }
 
+// The *Checked wrappers ref-protect their operands for the duration
+// of the call: checked() may garbage-collect both before the
+// operation (to reclaim stale intermediates) and after an abort, and
+// with the recycling allocator (mem.go) an unreferenced operand would
+// not merely fall out of the unique tables — its nodes would be
+// zeroed and reused. The temporary references keep operands intact
+// through any internal collection; after the wrapper returns they are
+// subject to normal GC rules again.
+
 // MultMVChecked is MultMV under the node budget: it returns a
 // *ResourceError instead of growing the unique tables past MaxNodes.
 func (p *Pkg) MultMVChecked(m MEdge, v VEdge) (VEdge, error) {
+	p.IncRefM(m)
+	p.IncRefV(v)
+	defer func() { p.DecRefM(m); p.DecRefV(v) }()
 	var res VEdge
 	if err := p.checked(func() { res = p.MultMV(m, v) }); err != nil {
 		return VZero(), err
@@ -101,6 +113,9 @@ func (p *Pkg) MultMVChecked(m MEdge, v VEdge) (VEdge, error) {
 
 // MultMMChecked is MultMM under the node budget.
 func (p *Pkg) MultMMChecked(a, b MEdge) (MEdge, error) {
+	p.IncRefM(a)
+	p.IncRefM(b)
+	defer func() { p.DecRefM(a); p.DecRefM(b) }()
 	var res MEdge
 	if err := p.checked(func() { res = p.MultMM(a, b) }); err != nil {
 		return MZero(), err
@@ -110,6 +125,9 @@ func (p *Pkg) MultMMChecked(a, b MEdge) (MEdge, error) {
 
 // AddVChecked is AddV under the node budget.
 func (p *Pkg) AddVChecked(a, b VEdge) (VEdge, error) {
+	p.IncRefV(a)
+	p.IncRefV(b)
+	defer func() { p.DecRefV(a); p.DecRefV(b) }()
 	var res VEdge
 	if err := p.checked(func() { res = p.AddV(a, b) }); err != nil {
 		return VZero(), err
@@ -119,6 +137,9 @@ func (p *Pkg) AddVChecked(a, b VEdge) (VEdge, error) {
 
 // AddMChecked is AddM under the node budget.
 func (p *Pkg) AddMChecked(a, b MEdge) (MEdge, error) {
+	p.IncRefM(a)
+	p.IncRefM(b)
+	defer func() { p.DecRefM(a); p.DecRefM(b) }()
 	var res MEdge
 	if err := p.checked(func() { res = p.AddM(a, b) }); err != nil {
 		return MZero(), err

@@ -49,26 +49,35 @@ const terminalVar Var = -1
 
 // VNode is a vector decision-diagram node. Nodes are immutable after
 // construction and unique within a Pkg: structural equality implies
-// pointer equality.
+// pointer equality. Nodes live in slab-allocated arenas (mem.go) and
+// are chained into the bucketed unique tables (unique.go) through the
+// intrusive next pointer, which doubles as the free-list link after a
+// node is swept.
 type VNode struct {
-	E   [2]VEdge // successors: E[0] = qubit |0⟩ branch, E[1] = |1⟩ branch
-	V   Var      // qubit level
-	ref int      // reference count for garbage collection
+	E    [2]VEdge // successors: E[0] = qubit |0⟩ branch, E[1] = |1⟩ branch
+	next *VNode   // unique-table chain / free-list link
+	hash uint64   // unique-table hash of the normalized contents
+	V    Var      // qubit level
+	ref  int      // reference count for garbage collection
 }
 
 // MNode is a matrix decision-diagram node with the four quadrant
 // successors in row-major order: E[2i+j] describes the action given
 // the node's qubit maps |j⟩ to |i⟩.
 type MNode struct {
-	E   [4]MEdge
-	V   Var
-	ref int
+	E    [4]MEdge
+	next *MNode
+	hash uint64
+	V    Var
+	ref  int
 }
 
-// Shared immutable terminal nodes. Their edge arrays are never read.
+// Shared immutable terminal nodes. Their edge arrays are never read;
+// the hash seeds give terminal children a mixed contribution to their
+// parents' hashes.
 var (
-	vTerminal = &VNode{V: terminalVar}
-	mTerminal = &MNode{V: terminalVar}
+	vTerminal = &VNode{V: terminalVar, hash: vTerminalHash}
+	mTerminal = &MNode{V: terminalVar, hash: mTerminalHash}
 )
 
 // VEdge is a weighted edge to a vector node. The zero value is not
@@ -117,18 +126,24 @@ type Pkg struct {
 	// vnorm selects the vector normalization scheme; see NormScheme.
 	vnorm NormScheme
 
-	vUnique []map[vKey]*VNode
-	mUnique []map[mKey]*MNode
+	// Per-level bucketed unique tables (unique.go) and the slab
+	// arenas feeding them (mem.go).
+	vUnique []vTable
+	mUnique []mTable
+	vMem    vArena
+	mMem    mArena
 
-	// Operation caches. Entries are invalidated wholesale on garbage
-	// collection; see gc.go.
-	addVCache map[addVKey]VEdge
-	addMCache map[addMKey]MEdge
-	mulMV     map[mulMVKey]VEdge
-	mulMM     map[mulMMKey]MEdge
-	kronCache map[kronKey]MEdge
-	conjCache map[*MNode]MEdge
-	fidCache  map[fidKey]complex128
+	// Operation caches: fixed-size direct-mapped lossy tables
+	// (compute.go). Entries are invalidated wholesale on garbage
+	// collection by bumping gen; see gc.go.
+	gen       uint64
+	addVCache computeTable[addVKey, VEdge]
+	addMCache computeTable[addMKey, MEdge]
+	mulMV     computeTable[mulMVKey, VEdge]
+	mulMM     computeTable[mulMMKey, MEdge]
+	kronCache computeTable[kronKey, MEdge]
+	conjCache computeTable[*MNode, MEdge]
+	fidCache  computeTable[fidKey, complex128]
 
 	// Roots protected from garbage collection, see IncRef/DecRef.
 	stats Stats
@@ -142,7 +157,7 @@ type Pkg struct {
 }
 
 // Stats aggregates package counters, exposed for the benchmark
-// harness and the ablation experiments.
+// harness, the web statistics panel, and the ablation experiments.
 type Stats struct {
 	NodesCreatedV uint64 // vector unique-table misses
 	NodesCreatedM uint64 // matrix unique-table misses
@@ -152,16 +167,20 @@ type Stats struct {
 	CacheHits     uint64
 	GCRuns        uint64
 	NodesFreed    uint64
-}
 
-type vKey struct {
-	w0, w1 complex128
-	n0, n1 *VNode
-}
+	// Table & memory-manager counters (see unique.go, compute.go,
+	// mem.go).
+	NodesRecycledV uint64 // allocations served from the vector free list
+	NodesRecycledM uint64 // allocations served from the matrix free list
+	UTCollisions   uint64 // unique-table chain entries probed past the head
+	CTStores       uint64 // compute-table stores
+	CTEvictions    uint64 // stores that displaced a live entry
 
-type mKey struct {
-	w [4]complex128
-	n [4]*MNode
+	// Snapshot-time gauges, filled by Stats().
+	UniqueLoadV float64 // vector unique-table load factor (entries/buckets)
+	UniqueLoadM float64 // matrix unique-table load factor
+	FreeNodesV  int     // vector nodes parked on the free list
+	FreeNodesM  int     // matrix nodes parked on the free list
 }
 
 // NormScheme selects how vector nodes are normalized. Both schemes
@@ -209,26 +228,38 @@ func NewTol(n int, tol float64) *Pkg {
 	p := &Pkg{
 		nqubits: n,
 		cn:      cnum.NewTableTol(tol),
-		vUnique: make([]map[vKey]*VNode, n),
-		mUnique: make([]map[mKey]*MNode, n),
+		vUnique: make([]vTable, n),
+		mUnique: make([]mTable, n),
+		gen:     1,
 	}
 	for i := 0; i < n; i++ {
-		p.vUnique[i] = make(map[vKey]*VNode)
-		p.mUnique[i] = make(map[mKey]*MNode)
+		p.vUnique[i] = newVTable()
+		p.mUnique[i] = newMTable()
 	}
-	p.resetCaches()
+	p.SetComputeTableSize(ctDefaultLarge)
 	return p
 }
 
-func (p *Pkg) resetCaches() {
-	p.addVCache = make(map[addVKey]VEdge)
-	p.addMCache = make(map[addMKey]MEdge)
-	p.mulMV = make(map[mulMVKey]VEdge)
-	p.mulMM = make(map[mulMMKey]MEdge)
-	p.kronCache = make(map[kronKey]MEdge)
-	p.conjCache = make(map[*MNode]MEdge)
-	p.fidCache = make(map[fidKey]complex128)
+// SetComputeTableSize reconfigures the capacity (in entries, rounded
+// up to a power of two) of the four binary-operation compute tables;
+// the unary/fidelity tables get a quarter of it. Current cache
+// contents are dropped; diagrams are unaffected. The default is 8192.
+func (p *Pkg) SetComputeTableSize(n int) {
+	large := nextPow2(n)
+	small := nextPow2(large / 4)
+	p.addVCache.setSize(large)
+	p.addMCache.setSize(large)
+	p.mulMV.setSize(large)
+	p.mulMM.setSize(large)
+	p.kronCache.setSize(small)
+	p.conjCache.setSize(small)
+	p.fidCache.setSize(small)
 }
+
+// invalidateComputeTables discards all cached operation results in
+// O(1) by bumping the generation counter: entries stamped with an
+// older generation are treated as empty and overwritten in place.
+func (p *Pkg) invalidateComputeTables() { p.gen++ }
 
 // Qubits reports the number of qubits the package was created for.
 func (p *Pkg) Qubits() int { return p.nqubits }
@@ -236,8 +267,29 @@ func (p *Pkg) Qubits() int { return p.nqubits }
 // Tolerance reports the complex identification radius.
 func (p *Pkg) Tolerance() float64 { return p.cn.Tolerance() }
 
-// Stats returns a snapshot of the package counters.
-func (p *Pkg) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the package counters, including the
+// point-in-time table-load and free-list gauges.
+func (p *Pkg) Stats() Stats {
+	s := p.stats
+	var vCount, vBuckets, mCount, mBuckets int
+	for i := range p.vUnique {
+		vCount += p.vUnique[i].count
+		vBuckets += len(p.vUnique[i].buckets)
+	}
+	for i := range p.mUnique {
+		mCount += p.mUnique[i].count
+		mBuckets += len(p.mUnique[i].buckets)
+	}
+	if vBuckets > 0 {
+		s.UniqueLoadV = float64(vCount) / float64(vBuckets)
+	}
+	if mBuckets > 0 {
+		s.UniqueLoadM = float64(mCount) / float64(mBuckets)
+	}
+	s.FreeNodesV = p.vMem.freeLen
+	s.FreeNodesM = p.mMem.freeLen
+	return s
+}
 
 // VZero returns the all-zero vector edge (a zero stub).
 func VZero() VEdge { return VEdge{W: 0, N: vTerminal} }
@@ -331,19 +383,25 @@ func (p *Pkg) makeVNode(v Var, e [2]VEdge) VEdge {
 	if w1 == 0 {
 		n1 = vTerminal
 	}
-	key := vKey{w0: w0, w1: w1, n0: n0, n1: n1}
-	tab := p.vUnique[v]
-	if n, ok := tab[key]; ok {
+	h := hashVNode(w0, w1, n0, n1)
+	tab := &p.vUnique[v]
+	if n := tab.lookup(h, w0, w1, n0, n1, &p.stats); n != nil {
 		p.stats.UniqueHitsV++
 		return VEdge{W: top, N: n}
 	}
 	if p.budgetArmed && p.maxNodes > 0 && p.live >= p.maxNodes {
 		panic(p.exceeded())
 	}
-	n := &VNode{V: v, E: [2]VEdge{{W: w0, N: n0}, {W: w1, N: n1}}}
-	tab[key] = n
+	n, recycled := p.vMem.alloc()
+	n.V = v
+	n.hash = h
+	n.E = [2]VEdge{{W: w0, N: n0}, {W: w1, N: n1}}
+	tab.insert(n)
 	p.live++
 	p.stats.NodesCreatedV++
+	if recycled {
+		p.stats.NodesRecycledV++
+	}
 	return VEdge{W: top, N: n}
 }
 
@@ -367,14 +425,21 @@ func (p *Pkg) makeMNode(v Var, e [4]MEdge) MEdge {
 		}
 	}
 	// Find the normalization entry: largest magnitude, first on ties
-	// (within tolerance, to keep the choice stable under jitter).
+	// (within tolerance, to keep the choice stable under jitter). The
+	// loop works on squared magnitudes, so the linear tolerance must
+	// be squared consistently: |c| > max + tol is equivalent to
+	// |c|² > max² + tol·(2·max + tol). Comparing |c|² against
+	// max² + tol directly (as earlier revisions did) made the
+	// tie-break too eager above magnitude 1 and too lax below it.
 	argMax := -1
-	maxMag := 0.0
+	maxMag := 0.0 // squared magnitude of the current arg-max
+	maxLin := 0.0 // its linear magnitude
 	tol := p.cn.Tolerance()
 	for i, c := range e {
 		m := real(c.W)*real(c.W) + imag(c.W)*imag(c.W)
-		if m > maxMag+tol {
+		if m > maxMag+tol*(2*maxLin+tol) {
 			maxMag = m
+			maxLin = math.Sqrt(m)
 			argMax = i
 		}
 	}
@@ -397,69 +462,39 @@ func (p *Pkg) makeMNode(v Var, e [4]MEdge) MEdge {
 		}
 	}
 	top = p.cn.Lookup(top)
-	key := mKey{w: w, n: n}
-	tab := p.mUnique[v]
-	if nd, ok := tab[key]; ok {
+	h := hashMNode(&w, &n)
+	tab := &p.mUnique[v]
+	if nd := tab.lookup(h, &w, &n, &p.stats); nd != nil {
 		p.stats.UniqueHitsM++
 		return MEdge{W: top, N: nd}
 	}
 	if p.budgetArmed && p.maxNodes > 0 && p.live >= p.maxNodes {
 		panic(p.exceeded())
 	}
-	nd := &MNode{V: v}
+	nd, recycled := p.mMem.alloc()
+	nd.V = v
+	nd.hash = h
 	for i := range nd.E {
 		nd.E[i] = MEdge{W: w[i], N: n[i]}
 	}
-	tab[key] = nd
+	tab.insert(nd)
 	p.live++
 	p.stats.NodesCreatedM++
+	if recycled {
+		p.stats.NodesRecycledM++
+	}
 	return MEdge{W: top, N: nd}
 }
 
 // ActiveNodes reports the number of live nodes in the unique tables
-// (vector, matrix).
+// (vector, matrix), using the per-table counts maintained on insert
+// and sweep.
 func (p *Pkg) ActiveNodes() (vec, mat int) {
-	for _, t := range p.vUnique {
-		vec += len(t)
+	for i := range p.vUnique {
+		vec += p.vUnique[i].count
 	}
-	for _, t := range p.mUnique {
-		mat += len(t)
+	for i := range p.mUnique {
+		mat += p.mUnique[i].count
 	}
 	return vec, mat
-}
-
-// SizeV reports the number of distinct non-terminal nodes reachable
-// from e — the "number of nodes" of the paper (the terminal is not
-// counted, cf. Ex. 6).
-func SizeV(e VEdge) int {
-	seen := make(map[*VNode]bool)
-	var walk func(n *VNode)
-	walk = func(n *VNode) {
-		if n == vTerminal || seen[n] {
-			return
-		}
-		seen[n] = true
-		walk(n.E[0].N)
-		walk(n.E[1].N)
-	}
-	walk(e.N)
-	return len(seen)
-}
-
-// SizeM reports the number of distinct non-terminal nodes reachable
-// from e.
-func SizeM(e MEdge) int {
-	seen := make(map[*MNode]bool)
-	var walk func(n *MNode)
-	walk = func(n *MNode) {
-		if n == mTerminal || seen[n] {
-			return
-		}
-		seen[n] = true
-		for _, c := range n.E {
-			walk(c.N)
-		}
-	}
-	walk(e.N)
-	return len(seen)
 }

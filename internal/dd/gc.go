@@ -75,26 +75,19 @@ func decRefM(n *MNode) {
 }
 
 // GarbageCollect removes all nodes with reference count zero from the
-// unique tables and clears the operation caches. It returns the number
-// of vector and matrix nodes freed.
+// unique tables, releasing them into the arenas' free lists for
+// reuse, and invalidates the operation caches (which may point at
+// swept nodes) by bumping the package generation — an O(1) step that
+// reallocates nothing. It returns the number of vector and matrix
+// nodes freed.
 func (p *Pkg) GarbageCollect() (vecFreed, matFreed int) {
-	for _, tab := range p.vUnique {
-		for k, n := range tab {
-			if n.ref == 0 {
-				delete(tab, k)
-				vecFreed++
-			}
-		}
+	for i := range p.vUnique {
+		vecFreed += p.vUnique[i].sweep(&p.vMem)
 	}
-	for _, tab := range p.mUnique {
-		for k, n := range tab {
-			if n.ref == 0 {
-				delete(tab, k)
-				matFreed++
-			}
-		}
+	for i := range p.mUnique {
+		matFreed += p.mUnique[i].sweep(&p.mMem)
 	}
-	p.resetCaches()
+	p.invalidateComputeTables()
 	p.live -= vecFreed + matFreed
 	p.stats.GCRuns++
 	p.stats.NodesFreed += uint64(vecFreed + matFreed)
@@ -102,10 +95,11 @@ func (p *Pkg) GarbageCollect() (vecFreed, matFreed int) {
 }
 
 // MaybeGC runs a collection when the unique tables exceed the given
-// node threshold; convenience for long simulation loops.
+// node threshold; convenience for long simulation loops. The check is
+// O(1) against the incrementally maintained live counter, so it can
+// sit inside per-operation loops.
 func (p *Pkg) MaybeGC(threshold int) bool {
-	v, m := p.ActiveNodes()
-	if v+m < threshold {
+	if p.live < threshold {
 		return false
 	}
 	p.GarbageCollect()

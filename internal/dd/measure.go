@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // ProbOne returns the probability of measuring qubit q as |1⟩ in the
@@ -22,10 +23,17 @@ func (p *Pkg) ProbOne(e VEdge, q int) float64 {
 	}
 	// The root weight cancels out of the conditional probabilities, and
 	// every node's sub-vector has unit norm, so the downward pass over
-	// squared branch weights yields the probability directly.
-	memo := make(map[*VNode]float64)
-	return probOne(e.N, q, memo)
+	// squared branch weights yields the probability directly. The memo
+	// map is pooled: Probabilities calls this once per qubit on every
+	// web frame render.
+	memo := probMemoPool.Get().(map[*VNode]float64)
+	r := probOne(e.N, q, memo)
+	clear(memo)
+	probMemoPool.Put(memo)
+	return r
 }
+
+var probMemoPool = sync.Pool{New: func() any { return make(map[*VNode]float64, 64) }}
 
 func probOne(n *VNode, q int, memo map[*VNode]float64) float64 {
 	if n == vTerminal {

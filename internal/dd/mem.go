@@ -1,0 +1,112 @@
+package dd
+
+// Node memory manager: chunked slab allocation plus free-list
+// recycling, mirroring the memory manager of the MQT DD package
+// (Wille, Hillmich, Burgholzer, arXiv:2108.07027, Sec. "Tools").
+//
+// Nodes are carved out of chunks so that allocating a node
+// on the hot path is a pointer bump instead of a Go heap allocation,
+// and nodes swept by GarbageCollect are threaded onto a free list
+// (through their intrusive next pointer) and handed out again by the
+// next allocation. The Go runtime only ever sees whole chunks; node
+// churn inside a long simulation is invisible to it.
+//
+// Recycling is safe because the sweep in gc.go removes a node from the
+// unique table in the same step that releases it: by the ref-counting
+// invariant every surviving node's children survive too, so no live
+// structure can reach a recycled slot.
+
+// Chunk sizes grow geometrically from firstChunk to maxChunk, so a
+// short-lived package (one web request, one small example) costs a
+// few KiB while a long-running simulation converges to large slabs.
+const (
+	firstChunk = 128
+	maxChunk   = 8192
+)
+
+// nextChunkLen doubles the previous chunk size up to the cap.
+func nextChunkLen(prev int) int {
+	if prev == 0 {
+		return firstChunk
+	}
+	if prev >= maxChunk {
+		return maxChunk
+	}
+	return 2 * prev
+}
+
+// vArena allocates VNodes.
+type vArena struct {
+	chunks  [][]VNode
+	used    int    // entries handed out from the newest chunk
+	free    *VNode // recycled nodes, linked through next
+	freeLen int
+}
+
+// alloc returns a node with all fields zeroed; recycled reports
+// whether it came from the free list.
+func (a *vArena) alloc() (n *VNode, recycled bool) {
+	if n = a.free; n != nil {
+		a.free = n.next
+		a.freeLen--
+		n.next = nil
+		return n, true
+	}
+	if len(a.chunks) == 0 || a.used == len(a.chunks[len(a.chunks)-1]) {
+		prev := 0
+		if len(a.chunks) > 0 {
+			prev = len(a.chunks[len(a.chunks)-1])
+		}
+		a.chunks = append(a.chunks, make([]VNode, nextChunkLen(prev)))
+		a.used = 0
+	}
+	c := a.chunks[len(a.chunks)-1]
+	n = &c[a.used]
+	a.used++
+	return n, false
+}
+
+// release clears the node and pushes it onto the free list. The clear
+// matters: stale edges must not survive into the slot's next life.
+func (a *vArena) release(n *VNode) {
+	*n = VNode{}
+	n.next = a.free
+	a.free = n
+	a.freeLen++
+}
+
+// mArena allocates MNodes.
+type mArena struct {
+	chunks  [][]MNode
+	used    int
+	free    *MNode
+	freeLen int
+}
+
+func (a *mArena) alloc() (n *MNode, recycled bool) {
+	if n = a.free; n != nil {
+		a.free = n.next
+		a.freeLen--
+		n.next = nil
+		return n, true
+	}
+	if len(a.chunks) == 0 || a.used == len(a.chunks[len(a.chunks)-1]) {
+		prev := 0
+		if len(a.chunks) > 0 {
+			prev = len(a.chunks[len(a.chunks)-1])
+		}
+		a.chunks = append(a.chunks, make([]MNode, nextChunkLen(prev)))
+		a.used = 0
+	}
+	c := a.chunks[len(a.chunks)-1]
+	n = &c[a.used]
+	a.used++
+	return n, false
+}
+
+func (a *mArena) release(n *MNode) {
+	*n = MNode{}
+	n.next = a.free
+	a.free = n
+	a.freeLen++
+}

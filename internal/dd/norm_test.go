@@ -140,3 +140,44 @@ func TestNormSchemesSimulationAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestMakeMNodeTieBreakTolerance: the arg-max loop of makeMNode works
+// on squared magnitudes, so the linear complex tolerance must be
+// squared consistently. Earlier revisions compared |c|² against
+// max²+tol directly, which made the tie-break scale-dependent: two
+// entries whose magnitudes differ by less than tol (a tie — keep the
+// first) were treated as distinct above magnitude 1, and entries
+// strictly larger than the running max were treated as ties below it.
+func TestMakeMNodeTieBreakTolerance(t *testing.T) {
+	tol := cnumDefaultTol()
+
+	// Above magnitude 1: |w1| = |w0| + 0.9·tol is a tie within the
+	// linear tolerance, so the FIRST entry must be chosen as the
+	// normalization entry (its weight becomes exactly 1).
+	p := New(1)
+	e := p.makeMNode(0, [4]MEdge{
+		{W: complex(2, 0), N: mTerminal},
+		{W: complex(2+0.9*tol, 0), N: mTerminal},
+		{W: 0, N: mTerminal},
+		{W: 0, N: mTerminal},
+	})
+	if e.N.E[0].W != 1 {
+		t.Fatalf("near-tied weights above magnitude 1: first entry weight %v, want exactly 1 (tie must keep the first index)", e.N.E[0].W)
+	}
+
+	// Below magnitude 1: |w1| = |w0| + 3·tol is strictly larger, so
+	// the SECOND entry must win even though the squared difference
+	// (≈ 0.6·tol) is far below the linear tolerance.
+	p2 := New(1)
+	e2 := p2.makeMNode(0, [4]MEdge{
+		{W: complex(0.1, 0), N: mTerminal},
+		{W: complex(0.1+3*tol, 0), N: mTerminal},
+		{W: 0, N: mTerminal},
+		{W: 0, N: mTerminal},
+	})
+	if e2.N.E[1].W != 1 {
+		t.Fatalf("strictly larger weight below magnitude 1: second entry weight %v, want exactly 1 (it exceeds the first by 3·tol)", e2.N.E[1].W)
+	}
+}
+
+func cnumDefaultTol() float64 { return New(1).Tolerance() }

@@ -53,7 +53,8 @@ func (p *Pkg) AddV(a, b VEdge) VEdge {
 	r := p.cn.Lookup(b.W / a.W)
 	p.stats.CacheLookups++
 	key := addVKey{a: a.N, b: b.N, r: r}
-	if res, ok := p.addVCache[key]; ok && !p.CachesDisabled {
+	h := hashAddV(key)
+	if res, ok := p.addVCache.lookup(h, key, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 	}
@@ -65,7 +66,7 @@ func (p *Pkg) AddV(a, b VEdge) VEdge {
 		e[i] = p.AddV(ae, VEdge{W: r * be.W, N: be.N})
 	}
 	res := p.makeVNode(v, e)
-	p.addVCache[key] = res
+	p.addVCache.store(h, key, res, p.gen, &p.stats)
 	return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 }
 
@@ -86,7 +87,8 @@ func (p *Pkg) AddM(a, b MEdge) MEdge {
 	r := p.cn.Lookup(b.W / a.W)
 	p.stats.CacheLookups++
 	key := addMKey{a: a.N, b: b.N, r: r}
-	if res, ok := p.addMCache[key]; ok && !p.CachesDisabled {
+	h := hashAddM(key)
+	if res, ok := p.addMCache.lookup(h, key, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return MEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 	}
@@ -98,7 +100,7 @@ func (p *Pkg) AddM(a, b MEdge) MEdge {
 		e[i] = p.AddM(ae, MEdge{W: r * be.W, N: be.N})
 	}
 	res := p.makeMNode(v, e)
-	p.addMCache[key] = res
+	p.addMCache.store(h, key, res, p.gen, &p.stats)
 	return MEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 }
 
@@ -118,7 +120,8 @@ func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
 	}
 	p.stats.CacheLookups++
 	key := mulMVKey{m: m.N, v: v.N}
-	if res, ok := p.mulMV[key]; ok && !p.CachesDisabled {
+	h := hashMulMV(key)
+	if res, ok := p.mulMV.lookup(h, key, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return VEdge{W: p.cn.Lookup(res.W * m.W * v.W), N: res.N}
 	}
@@ -134,7 +137,7 @@ func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
 		e[i] = sum
 	}
 	res := p.makeVNode(lv, e)
-	p.mulMV[key] = res
+	p.mulMV.store(h, key, res, p.gen, &p.stats)
 	return VEdge{W: p.cn.Lookup(res.W * m.W * v.W), N: res.N}
 }
 
@@ -152,7 +155,8 @@ func (p *Pkg) MultMM(a, b MEdge) MEdge {
 	}
 	p.stats.CacheLookups++
 	key := mulMMKey{a: a.N, b: b.N}
-	if res, ok := p.mulMM[key]; ok && !p.CachesDisabled {
+	h := hashMulMM(key)
+	if res, ok := p.mulMM.lookup(h, key, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
 	}
@@ -170,7 +174,7 @@ func (p *Pkg) MultMM(a, b MEdge) MEdge {
 		}
 	}
 	res := p.makeMNode(lv, e)
-	p.mulMM[key] = res
+	p.mulMM.store(h, key, res, p.gen, &p.stats)
 	return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
 }
 
@@ -184,12 +188,13 @@ func (p *Pkg) KronM(a, b MEdge, lowerQubits int) MEdge {
 	}
 	p.stats.CacheLookups++
 	key := kronKey{a: a.N, b: b.N}
-	if res, ok := p.kronCache[key]; ok && !p.CachesDisabled {
+	h := hashKron(key)
+	if res, ok := p.kronCache.lookup(h, key, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
 	}
 	res := p.kronRec(MEdge{W: 1, N: a.N}, b.N, lowerQubits)
-	p.kronCache[key] = res
+	p.kronCache.store(h, key, res, p.gen, &p.stats)
 	return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
 }
 
@@ -244,7 +249,8 @@ func (p *Pkg) ConjTranspose(m MEdge) MEdge {
 	}
 	w := p.cn.Lookup(cmplx.Conj(m.W))
 	p.stats.CacheLookups++
-	if res, ok := p.conjCache[m.N]; ok && !p.CachesDisabled {
+	h := m.N.hash
+	if res, ok := p.conjCache.lookup(h, m.N, p.gen); ok && !p.CachesDisabled {
 		p.stats.CacheHits++
 		return MEdge{W: p.cn.Lookup(res.W * w), N: res.N}
 	}
@@ -256,7 +262,7 @@ func (p *Pkg) ConjTranspose(m MEdge) MEdge {
 		}
 	}
 	res := p.makeMNode(m.N.V, e)
-	p.conjCache[m.N] = res
+	p.conjCache.store(h, m.N, res, p.gen, &p.stats)
 	return MEdge{W: p.cn.Lookup(res.W * w), N: res.N}
 }
 

@@ -1,0 +1,156 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the node memory manager (mem.go): interleaving random DD
+// operations with GarbageCollect must never break canonicity, and the
+// recycling counters must reconcile with the incremental live count.
+
+// applyRandomCircuit drives the state through ops pseudo-random gate
+// applications drawn from rng; every gcEvery-th step it pins the
+// current state and garbage-collects, so gate DDs and intermediate
+// states are swept onto the free lists and later allocations recycle
+// their slots. gcEvery <= 0 disables the interleaved collections.
+func applyRandomCircuit(p *Pkg, rng *rand.Rand, ops, gcEvery int) VEdge {
+	s := 1 / math.Sqrt2
+	gates := []GateMatrix{
+		{complex(s, 0), complex(s, 0), complex(s, 0), complex(-s, 0)}, // H
+		{0, 1, 1, 0},             // X
+		{1, 0, 0, complex(s, s)}, // T
+		{1, 0, 0, complex(0, 1)}, // S
+	}
+	st := p.ZeroState()
+	for i := 0; i < ops; i++ {
+		g := gates[rng.Intn(len(gates))]
+		target := rng.Intn(p.nqubits)
+		var controls []Control
+		if rng.Intn(3) == 0 {
+			c := rng.Intn(p.nqubits)
+			if c != target {
+				controls = append(controls, Control{Qubit: c})
+			}
+		}
+		st = p.MultMV(p.MakeGateDD(g, target, controls...), st)
+		if gcEvery > 0 && i%gcEvery == gcEvery-1 {
+			p.IncRefV(st)
+			p.GarbageCollect()
+			p.DecRefV(st)
+		}
+	}
+	return st
+}
+
+// TestRecyclingPreservesCanonicity builds a state, litters the package
+// with garbage, collects it, and rebuilds the same state through the
+// recycled slots: the rebuild must land on the exact same root (shared
+// node pointer and weight), and it must actually have reused freed
+// nodes for the check to mean anything.
+func TestRecyclingPreservesCanonicity(t *testing.T) {
+	const qubits, ops = 5, 60
+	p := New(qubits)
+
+	s1 := applyRandomCircuit(p, rand.New(rand.NewSource(42)), ops, 0)
+	p.IncRefV(s1)
+
+	// Unreferenced garbage: two more circuits with interleaved GCs.
+	applyRandomCircuit(p, rand.New(rand.NewSource(7)), ops, 15)
+	applyRandomCircuit(p, rand.New(rand.NewSource(8)), ops, 15)
+
+	vf, mf := p.GarbageCollect()
+	if vf+mf == 0 {
+		t.Fatal("GarbageCollect freed nothing despite unreferenced garbage")
+	}
+	st := p.Stats()
+	if st.FreeNodesV == 0 || st.FreeNodesM == 0 {
+		t.Fatalf("free lists empty after GC: FreeNodesV=%d FreeNodesM=%d", st.FreeNodesV, st.FreeNodesM)
+	}
+
+	// Rebuild the identical circuit, with GCs interleaved for good
+	// measure (s1 stays pinned throughout).
+	s2 := applyRandomCircuit(p, rand.New(rand.NewSource(42)), ops, 15)
+	if s2.N != s1.N {
+		t.Fatal("rebuild after recycling produced a different root node: canonicity broken")
+	}
+	if s2.W != s1.W {
+		t.Fatalf("rebuild after recycling produced root weight %v, want %v", s2.W, s1.W)
+	}
+
+	st = p.Stats()
+	if st.NodesRecycledV+st.NodesRecycledM == 0 {
+		t.Fatal("no allocations were served from the free lists; the test did not exercise recycling")
+	}
+
+	// Numeric cross-check against a pristine package: recycled slots
+	// must not leak stale edges into the rebuilt diagram.
+	fresh := New(qubits)
+	want := fresh.Vector(applyRandomCircuit(fresh, rand.New(rand.NewSource(42)), ops, 0))
+	got := p.Vector(s2)
+	for i := range want {
+		if d := got[i] - want[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("amplitude %d diverged after recycling: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecycleCountersReconcile fuzzes random operations against
+// collections and checks the accounting invariants after every GC:
+//
+//	live == NodesCreatedV + NodesCreatedM − NodesFreed
+//	NodesRecycledV + NodesRecycledM <= NodesFreed
+//	ActiveNodes() sums to live
+func TestRecycleCountersReconcile(t *testing.T) {
+	const qubits = 4
+	p := New(qubits)
+	rng := rand.New(rand.NewSource(99))
+
+	check := func(step int) {
+		t.Helper()
+		st := p.Stats()
+		created := st.NodesCreatedV + st.NodesCreatedM
+		if uint64(p.LiveNodes()) != created-st.NodesFreed {
+			t.Fatalf("step %d: live=%d but created−freed=%d−%d=%d",
+				step, p.LiveNodes(), created, st.NodesFreed, created-st.NodesFreed)
+		}
+		if st.NodesRecycledV+st.NodesRecycledM > st.NodesFreed {
+			t.Fatalf("step %d: recycled %d+%d nodes but only %d were ever freed",
+				step, st.NodesRecycledV, st.NodesRecycledM, st.NodesFreed)
+		}
+		if v, m := p.ActiveNodes(); v+m != p.LiveNodes() {
+			t.Fatalf("step %d: ActiveNodes %d+%d disagrees with live %d", step, v, m, p.LiveNodes())
+		}
+	}
+
+	state := p.ZeroState()
+	p.IncRefV(state)
+	for step := 0; step < 200; step++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // random gate on the pinned state
+			g := GateMatrix{1, 0, 0, complex(0, 1)}
+			if rng.Intn(2) == 0 {
+				s := 1 / math.Sqrt2
+				g = GateMatrix{complex(s, 0), complex(s, 0), complex(s, 0), complex(-s, 0)}
+			}
+			next := p.MultMV(p.MakeGateDD(g, rng.Intn(qubits)), state)
+			p.IncRefV(next)
+			p.DecRefV(state)
+			state = next
+		case 3: // throwaway work: an unreferenced sum of two states
+			b := p.BasisState(int64(rng.Intn(1 << qubits)))
+			p.AddV(state, b)
+		case 4:
+			p.GarbageCollect()
+			check(step)
+		}
+	}
+	p.GarbageCollect()
+	check(200)
+
+	st := p.Stats()
+	if st.NodesRecycledV+st.NodesRecycledM == 0 {
+		t.Fatal("fuzz run never recycled a node; widen the operation mix")
+	}
+}

@@ -123,7 +123,8 @@ func (p *Pkg) innerProduct(a, b VEdge, levels int) complex128 {
 	}
 	p.stats.CacheLookups++
 	key := fidKey{a.N, b.N}
-	if r, ok := p.fidCache[key]; ok {
+	h := hashFid(key)
+	if r, ok := p.fidCache.lookup(h, key, p.gen); ok {
 		p.stats.CacheHits++
 		return w * r
 	}
@@ -133,7 +134,7 @@ func (p *Pkg) innerProduct(a, b VEdge, levels int) complex128 {
 		be := followV(b.N, i)
 		sum += p.innerProduct(VEdge{W: ae.W, N: ae.N}, VEdge{W: be.W, N: be.N}, levels-1)
 	}
-	p.fidCache[key] = sum
+	p.fidCache.store(h, key, sum, p.gen, &p.stats)
 	return w * sum
 }
 

@@ -177,8 +177,10 @@ func (s *Simulator) PeakNodes() int {
 }
 
 func (s *Simulator) maybeGC() {
-	v, m := s.pkg.ActiveNodes()
-	if v+m < s.GCThreshold {
+	// O(1) threshold check against the incrementally maintained live
+	// counter — this runs after every operation, so walking the
+	// per-level unique tables here would dominate small-state loops.
+	if s.pkg.LiveNodes() < s.GCThreshold {
 		return
 	}
 	// Protect history snapshots (they are already ref-counted when

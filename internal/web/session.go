@@ -401,9 +401,40 @@ type Frame struct {
 	Classical []int     `json:"classical,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
 	// Statistics panel payload.
-	PathCount int64 `json:"pathCount,omitempty"` // non-zero basis states
-	PeakNodes int   `json:"peakNodes,omitempty"`
-	LevelHist []int `json:"levelHist,omitempty"` // nodes per qubit level
+	PathCount int64        `json:"pathCount,omitempty"` // non-zero basis states
+	PeakNodes int          `json:"peakNodes,omitempty"`
+	LevelHist []int        `json:"levelHist,omitempty"` // nodes per qubit level
+	Engine    *EngineStats `json:"engine,omitempty"`    // table & memory counters
+}
+
+// EngineStats surfaces the DD engine's table and memory-manager
+// counters (unique-table load, compute-table traffic, node recycling)
+// in the statistics panel, next to the structural diagram metrics.
+type EngineStats struct {
+	LiveNodes    int     `json:"liveNodes"`
+	UniqueLoadV  float64 `json:"uniqueLoadV"`
+	UniqueLoadM  float64 `json:"uniqueLoadM"`
+	UTCollisions uint64  `json:"utCollisions"`
+	CTStores     uint64  `json:"ctStores"`
+	CTEvictions  uint64  `json:"ctEvictions"`
+	Recycled     uint64  `json:"recycled"`
+	FreeNodes    int     `json:"freeNodes"`
+	GCRuns       uint64  `json:"gcRuns"`
+}
+
+func engineStats(p *dd.Pkg) *EngineStats {
+	st := p.Stats()
+	return &EngineStats{
+		LiveNodes:    p.LiveNodes(),
+		UniqueLoadV:  st.UniqueLoadV,
+		UniqueLoadM:  st.UniqueLoadM,
+		UTCollisions: st.UTCollisions,
+		CTStores:     st.CTStores,
+		CTEvictions:  st.CTEvictions,
+		Recycled:     st.NodesRecycledV + st.NodesRecycledM,
+		FreeNodes:    st.FreeNodesV + st.FreeNodesM,
+		GCRuns:       st.GCRuns,
+	}
 }
 
 func simFrame(s *simSession, style vis.Style, caption string) Frame {
@@ -419,6 +450,7 @@ func simFrame(s *simSession, style vis.Style, caption string) Frame {
 		PathCount: dd.PathCount(s.sim.State()),
 		PeakNodes: s.sim.PeakNodes(),
 		LevelHist: s.sim.Pkg().SizeByLevelV(s.sim.State()),
+		Engine:    engineStats(s.sim.Pkg()),
 	}
 }
 
@@ -431,6 +463,7 @@ func verifyFrame(v *verifySession, style vis.Style, caption string) Frame {
 		Pos:       gatesBefore(v.left, v.li) + gatesBefore(v.right, v.ri),
 		Total:     v.left.NumGates() + v.right.NumGates(),
 		LevelHist: v.pkg.SizeByLevelM(v.x),
+		Engine:    engineStats(v.pkg),
 	}
 }
 
