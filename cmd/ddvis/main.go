@@ -10,9 +10,16 @@
 //
 // Usage:
 //
-//	ddvis [-addr :8080] [-seed 1] [-max-qubits 24] [-max-ops 4096]
+//	ddvis [-addr :8080] [-admin-addr 127.0.0.1:8081] [-seed 1]
+//	      [-max-qubits 24] [-max-ops 4096]
 //	      [-max-nodes 250000] [-max-body-bytes 1048576]
 //	      [-session-ttl 30m] [-max-sessions 256] [-request-timeout 15s]
+//
+// When -admin-addr is set, a second listener serves the operational
+// endpoints (/healthz, /metrics, /debug/vars, /debug/pprof/…) so
+// profiling never rides on the public port; bind it to localhost or a
+// cluster-internal interface. /metrics is also served on the public
+// listener either way.
 package main
 
 import (
@@ -29,12 +36,14 @@ import (
 	"time"
 
 	"quantumdd/internal/core"
+	"quantumdd/internal/obs"
 	"quantumdd/internal/web"
 )
 
 func main() {
 	def := web.DefaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
+	adminAddr := flag.String("admin-addr", "", "optional admin listener for /metrics, /healthz, /debug/pprof and /debug/vars (empty = disabled)")
 	seed := flag.Int64("seed", def.Seed, "seed for sampled measurement outcomes")
 	maxQubits := flag.Int("max-qubits", def.MaxQubits, "reject circuits wider than this many qubits (0 = unlimited)")
 	maxOps := flag.Int("max-ops", def.MaxOps, "reject circuits with more operations than this (0 = unlimited)")
@@ -80,12 +89,32 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           obs.AdminMuxWith(srv.MetricsHandler()),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// The admin listener is auxiliary: losing it should not
+				// take down the tool, but the operator must know.
+				logger.Error("admin listener failed", "addr", *adminAddr, "error", err)
+			}
+		}()
+	}
+
 	display := *addr
 	if strings.HasPrefix(display, ":") {
 		display = "localhost" + display
 	}
 	fmt.Printf("visualizing decision diagrams for quantum computing\n")
 	fmt.Printf("serving on http://%s\n", display)
+	if admin != nil {
+		fmt.Printf("admin endpoints (metrics, pprof) on http://%s\n", *adminAddr)
+	}
 
 	select {
 	case err := <-errc:
@@ -95,6 +124,11 @@ func main() {
 		logger.Info("shutting down", "drain", "10s")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if admin != nil {
+			if err := admin.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				logger.Error("admin shutdown failed", "error", err)
+			}
+		}
 		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			logger.Error("shutdown failed", "error", err)
 			os.Exit(1)

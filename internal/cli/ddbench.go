@@ -14,8 +14,16 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "", "run only the experiment with this ID (e.g. E6)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engines after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metricsDump {
+		// The experiments build their engines internally; the tracer
+		// still reaches them through the process-wide default, so the
+		// dump carries the op-latency histograms of the whole run.
+		md := newMetricsDumper()
+		defer md.dump(stdout)
 	}
 	if *list {
 		for _, e := range bench.All() {

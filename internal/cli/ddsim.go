@@ -34,6 +34,7 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "", "input format: qasm, real, or auto")
 	noise := fs.Float64("noise", 0, "depolarizing noise probability per gate operand (enables trajectory mode)")
 	trajectories := fs.Int("trajectories", 1000, "Monte-Carlo trajectories in noise mode")
+	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engine after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,10 +48,15 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ddsim:", err)
 		return 1
 	}
+	var md *metricsDumper
+	if *metricsDump {
+		md = newMetricsDumper()
+		defer md.dump(stdout)
+	}
 	if *noise > 0 {
 		return runDdsimNoisy(circ, *noise, *trajectories, *seed, stdout, stderr)
 	}
-	return runDdsimOn(circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, stdout, stderr)
+	return runDdsimOn(circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, md, stdout, stderr)
 }
 
 // runDdsimNoisy aggregates Monte-Carlo trajectories under depolarizing
@@ -89,11 +95,14 @@ func runDdsimNoisy(circ *qc.Circuit, p float64, trajectories int, seed int64, st
 	return 0
 }
 
-func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stats, draw bool, stdout, stderr io.Writer) int {
+func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stats, draw bool, md *metricsDumper, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "circuit: %d qubits, %d classical bits, %d operations (%d gates)\n",
 		circ.NQubits, circ.NClbits, len(circ.Ops), circ.NumGates())
 
 	s := sim.New(circ, sim.WithSeed(seed))
+	if md != nil {
+		defer func() { md.record(s.Pkg().Stats()) }()
+	}
 	for !s.AtEnd() {
 		ev, err := s.StepForward()
 		if err != nil {

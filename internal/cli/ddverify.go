@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"quantumdd/internal/core"
+	"quantumdd/internal/dd"
 	"quantumdd/internal/qc"
 	"quantumdd/internal/sim"
 	"quantumdd/internal/verify"
@@ -25,6 +26,7 @@ func RunDdverify(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the per-gate node-count trace")
 	diagnose := fs.Bool("diagnose", false, "on non-equivalence, print a counterexample and the HS overlap")
 	format := fs.String("format", "", "input format: qasm, real, or auto")
+	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engine after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,7 +60,18 @@ func RunDdverify(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "G : %s (%d qubits, %d gates)\n", fs.Arg(0), left.NQubits, left.NumGates())
 	fmt.Fprintf(stdout, "G': %s (%d qubits, %d gates)\n", fs.Arg(1), right.NQubits, right.NumGates())
-	res, err := verify.Check(left, right, strategy)
+	var res *verify.Result
+	if *metricsDump {
+		// Own the engine so its final statistics land in the dump
+		// alongside the op-latency histograms the tracer collects.
+		md := newMetricsDumper()
+		p := dd.New(left.NQubits)
+		res, err = verify.CheckOn(p, left, right, strategy)
+		md.record(p.Stats())
+		defer md.dump(stdout)
+	} else {
+		res, err = verify.Check(left, right, strategy)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "ddverify:", err)
 		return 2

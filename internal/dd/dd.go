@@ -34,6 +34,7 @@ package dd
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"quantumdd/internal/cnum"
 )
@@ -154,6 +155,14 @@ type Pkg struct {
 	maxNodes    int
 	live        int
 	budgetArmed bool
+
+	// Observability (see trace.go): tracer observes top-level
+	// operation latencies, tracedOps strides snapshot publication,
+	// and statsSnap is the atomically published Stats snapshot that
+	// other goroutines read via LastStats.
+	tracer    TraceFunc
+	tracedOps uint64
+	statsSnap atomic.Pointer[Stats]
 }
 
 // Stats aggregates package counters, exposed for the benchmark
@@ -167,6 +176,7 @@ type Stats struct {
 	CacheHits     uint64
 	GCRuns        uint64
 	NodesFreed    uint64
+	GCPauseNS     uint64 // cumulative wall-clock nanoseconds spent in GarbageCollect
 
 	// Table & memory-manager counters (see unique.go, compute.go,
 	// mem.go).
@@ -181,6 +191,7 @@ type Stats struct {
 	UniqueLoadM float64 // matrix unique-table load factor
 	FreeNodesV  int     // vector nodes parked on the free list
 	FreeNodesM  int     // matrix nodes parked on the free list
+	LiveNodes   int     // nodes currently in the unique tables
 }
 
 // NormScheme selects how vector nodes are normalized. Both schemes
@@ -237,6 +248,7 @@ func NewTol(n int, tol float64) *Pkg {
 		p.mUnique[i] = newMTable()
 	}
 	p.SetComputeTableSize(ctDefaultLarge)
+	p.tracer = loadDefaultTracer()
 	return p
 }
 
@@ -288,6 +300,7 @@ func (p *Pkg) Stats() Stats {
 	}
 	s.FreeNodesV = p.vMem.freeLen
 	s.FreeNodesM = p.mMem.freeLen
+	s.LiveNodes = p.live
 	return s
 }
 

@@ -10,6 +10,8 @@ package dd
 // tables and drops the operation caches, which may point at swept
 // nodes. This mirrors the scheme of the JKQ DD package (ICCAD 2019).
 
+import "time"
+
 // IncRefV marks the diagram rooted at e as live.
 func (p *Pkg) IncRefV(e VEdge) { incRefV(e.N) }
 
@@ -81,6 +83,7 @@ func decRefM(n *MNode) {
 // reallocates nothing. It returns the number of vector and matrix
 // nodes freed.
 func (p *Pkg) GarbageCollect() (vecFreed, matFreed int) {
+	start := time.Now()
 	for i := range p.vUnique {
 		vecFreed += p.vUnique[i].sweep(&p.vMem)
 	}
@@ -91,6 +94,12 @@ func (p *Pkg) GarbageCollect() (vecFreed, matFreed int) {
 	p.live -= vecFreed + matFreed
 	p.stats.GCRuns++
 	p.stats.NodesFreed += uint64(vecFreed + matFreed)
+	pause := time.Since(start)
+	p.stats.GCPauseNS += uint64(pause)
+	if p.tracer != nil {
+		p.tracer(OpGC, pause)
+		p.PublishStats()
+	}
 	return vecFreed, matFreed
 }
 

@@ -35,9 +35,13 @@ type (
 	}
 )
 
-// AddV returns the element-wise sum of the vectors a and b. Operands
-// must stem from this package and represent equally sized vectors.
-func (p *Pkg) AddV(a, b VEdge) VEdge {
+// The exported entry points (AddV, MultMV, …) live in trace.go: they
+// time the recursive bodies below when a tracer is installed. The
+// recursion calls the unexported bodies directly, so only top-level
+// invocations are traced.
+
+// addV is the recursive body of AddV.
+func (p *Pkg) addV(a, b VEdge) VEdge {
 	if a.IsZero() {
 		return b
 	}
@@ -63,15 +67,15 @@ func (p *Pkg) AddV(a, b VEdge) VEdge {
 	for i := 0; i < 2; i++ {
 		ae := a.N.E[i]
 		be := b.N.E[i]
-		e[i] = p.AddV(ae, VEdge{W: r * be.W, N: be.N})
+		e[i] = p.addV(ae, VEdge{W: r * be.W, N: be.N})
 	}
 	res := p.makeVNode(v, e)
 	p.addVCache.store(h, key, res, p.gen, &p.stats)
 	return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 }
 
-// AddM returns the element-wise sum of the matrices a and b.
-func (p *Pkg) AddM(a, b MEdge) MEdge {
+// addM is the recursive body of AddM.
+func (p *Pkg) addM(a, b MEdge) MEdge {
 	if a.IsZero() {
 		return b
 	}
@@ -97,18 +101,17 @@ func (p *Pkg) AddM(a, b MEdge) MEdge {
 	for i := 0; i < 4; i++ {
 		ae := a.N.E[i]
 		be := b.N.E[i]
-		e[i] = p.AddM(ae, MEdge{W: r * be.W, N: be.N})
+		e[i] = p.addM(ae, MEdge{W: r * be.W, N: be.N})
 	}
 	res := p.makeMNode(v, e)
 	p.addMCache.store(h, key, res, p.gen, &p.stats)
 	return MEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 }
 
-// MultMV computes the matrix-vector product m·v, the core of DD-based
-// simulation (Ex. 9, Fig. 4 of the paper): the product is decomposed
+// multMV is the recursive body of MultMV: the product is decomposed
 // into the four quadrant sub-products, which are summed pairwise and
 // recursed until only scalar operations remain.
-func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
+func (p *Pkg) multMV(m MEdge, v VEdge) VEdge {
 	if m.IsZero() || v.IsZero() {
 		return VZero()
 	}
@@ -132,7 +135,7 @@ func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
 		for j := 0; j < 2; j++ {
 			me := m.N.E[2*i+j]
 			ve := v.N.E[j]
-			sum = p.AddV(sum, p.MultMV(me, ve))
+			sum = p.addV(sum, p.multMV(me, ve))
 		}
 		e[i] = sum
 	}
@@ -141,9 +144,8 @@ func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
 	return VEdge{W: p.cn.Lookup(res.W * m.W * v.W), N: res.N}
 }
 
-// MultMM computes the matrix-matrix product a·b (a applied after b),
-// used to build circuit functionality U = U_{m-1}···U_0.
-func (p *Pkg) MultMM(a, b MEdge) MEdge {
+// multMM is the recursive body of MultMM.
+func (p *Pkg) multMM(a, b MEdge) MEdge {
 	if a.IsZero() || b.IsZero() {
 		return MZero()
 	}
@@ -168,7 +170,7 @@ func (p *Pkg) MultMM(a, b MEdge) MEdge {
 			for k := 0; k < 2; k++ {
 				ae := a.N.E[2*i+k]
 				be := b.N.E[2*k+j]
-				sum = p.AddM(sum, p.MultMM(ae, be))
+				sum = p.addM(sum, p.multMM(ae, be))
 			}
 			e[2*i+j] = sum
 		}
@@ -178,11 +180,10 @@ func (p *Pkg) MultMM(a, b MEdge) MEdge {
 	return MEdge{W: p.cn.Lookup(res.W * a.W * b.W), N: res.N}
 }
 
-// KronM computes the tensor product a⊗b, where b spans the lowerQubits
-// bottom levels and a is re-based on top of it. As illustrated in
-// Fig. 3 of the paper, this amounts to replacing the terminal of a's
-// diagram with the root of b's diagram (relabelling a's nodes).
-func (p *Pkg) KronM(a, b MEdge, lowerQubits int) MEdge {
+// kronM is the body of KronM: as illustrated in Fig. 3 of the paper,
+// the tensor product amounts to replacing the terminal of a's diagram
+// with the root of b's diagram (relabelling a's nodes).
+func (p *Pkg) kronM(a, b MEdge, lowerQubits int) MEdge {
 	if a.IsZero() || b.IsZero() {
 		return MZero()
 	}
@@ -237,10 +238,9 @@ func (p *Pkg) kronVRec(a VEdge, b *VNode, shift int) VEdge {
 	return VEdge{W: p.cn.Lookup(res.W * a.W), N: res.N}
 }
 
-// ConjTranspose returns the conjugate transpose (adjoint) m† of the
-// matrix diagram, used to invert circuits for the advanced
-// equivalence-checking scheme.
-func (p *Pkg) ConjTranspose(m MEdge) MEdge {
+// conjTranspose is the recursive body of ConjTranspose, used to
+// invert circuits for the advanced equivalence-checking scheme.
+func (p *Pkg) conjTranspose(m MEdge) MEdge {
 	if m.IsZero() {
 		return MZero()
 	}
@@ -258,7 +258,7 @@ func (p *Pkg) ConjTranspose(m MEdge) MEdge {
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			// transpose swaps quadrants (i,j) -> (j,i)
-			e[2*i+j] = p.ConjTranspose(m.N.E[2*j+i])
+			e[2*i+j] = p.conjTranspose(m.N.E[2*j+i])
 		}
 	}
 	res := p.makeMNode(m.N.V, e)

@@ -1,0 +1,198 @@
+package dd
+
+// Operation tracing and race-clean stats snapshots.
+//
+// A Pkg is single-goroutine by design, but production deployments
+// need to watch it from other goroutines: a metrics scraper must read
+// table loads and cache ratios while a session is mid-step. Two
+// mechanisms make that possible without locking the hot path:
+//
+//   - An optional TraceFunc observes the wall-clock latency of every
+//     top-level diagram operation (the public AddV/MultMV/… entry
+//     points time themselves around their recursive bodies) and every
+//     garbage collection. With no tracer installed the cost is a
+//     single nil check per operation.
+//
+//   - The package periodically publishes an immutable Stats snapshot
+//     through an atomic pointer (LastStats). Readers on any goroutine
+//     get a consistent recent snapshot; they never observe a
+//     half-updated Stats struct racing with a GC sweep.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies a traced top-level diagram operation.
+type Op uint8
+
+const (
+	OpAddV Op = iota
+	OpAddM
+	OpMultMV
+	OpMultMM
+	OpKron
+	OpConjTranspose
+	OpGC
+	// NumOps bounds Op values for table-indexed collectors.
+	NumOps
+)
+
+// String returns the stable label used in metric series.
+func (o Op) String() string {
+	switch o {
+	case OpAddV:
+		return "addv"
+	case OpAddM:
+		return "addm"
+	case OpMultMV:
+		return "multmv"
+	case OpMultMM:
+		return "multmm"
+	case OpKron:
+		return "kron"
+	case OpConjTranspose:
+		return "conjt"
+	case OpGC:
+		return "gc"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceFunc observes one completed operation. Implementations must be
+// safe for concurrent use when several packages share one tracer.
+type TraceFunc func(op Op, d time.Duration)
+
+// tracerBox wraps a TraceFunc for atomic.Value (which cannot hold a
+// bare nil func).
+type tracerBox struct{ f TraceFunc }
+
+var defaultTracer atomic.Value // tracerBox
+
+// SetDefaultTracer installs a process-wide tracer inherited by every
+// subsequently created Pkg — how the CLI tools observe packages built
+// deep inside the bench and verify harnesses. Pass nil to clear.
+func SetDefaultTracer(f TraceFunc) { defaultTracer.Store(tracerBox{f: f}) }
+
+func loadDefaultTracer() TraceFunc {
+	if b, ok := defaultTracer.Load().(tracerBox); ok {
+		return b.f
+	}
+	return nil
+}
+
+// SetTracer installs (or, with nil, removes) the tracer of this
+// package, overriding any default tracer it inherited. Installing a
+// tracer publishes an initial stats snapshot.
+func (p *Pkg) SetTracer(f TraceFunc) {
+	p.tracer = f
+	if f != nil {
+		p.PublishStats()
+	}
+}
+
+// publishStride bounds how often traced operations refresh the
+// published snapshot; a snapshot allocates one Stats struct, so the
+// stride keeps tight operation loops allocation-light while scrapes
+// still observe values at most a few dozen operations old.
+const publishStride = 32
+
+// PublishStats takes a Stats snapshot and publishes it for
+// cross-goroutine readers (LastStats).
+func (p *Pkg) PublishStats() {
+	s := p.Stats()
+	p.statsSnap.Store(&s)
+}
+
+// LastStats returns the most recently published stats snapshot. It is
+// safe to call from any goroutine, unlike every other Pkg method: the
+// snapshot is immutable and read through an atomic pointer. The
+// second result is false when no snapshot was published yet.
+func (p *Pkg) LastStats() (Stats, bool) {
+	if s := p.statsSnap.Load(); s != nil {
+		return *s, true
+	}
+	return Stats{}, false
+}
+
+// traced runs after a top-level operation completed: it reports the
+// latency and periodically republishes the stats snapshot.
+func (p *Pkg) traced(op Op, start time.Time) {
+	p.tracer(op, time.Since(start))
+	p.tracedOps++
+	if p.tracedOps%publishStride == 0 {
+		p.PublishStats()
+	}
+}
+
+// AddV returns the element-wise sum of the vectors a and b. Operands
+// must stem from this package and represent equally sized vectors.
+func (p *Pkg) AddV(a, b VEdge) VEdge {
+	if p.tracer == nil {
+		return p.addV(a, b)
+	}
+	start := time.Now()
+	res := p.addV(a, b)
+	p.traced(OpAddV, start)
+	return res
+}
+
+// AddM returns the element-wise sum of the matrices a and b.
+func (p *Pkg) AddM(a, b MEdge) MEdge {
+	if p.tracer == nil {
+		return p.addM(a, b)
+	}
+	start := time.Now()
+	res := p.addM(a, b)
+	p.traced(OpAddM, start)
+	return res
+}
+
+// MultMV computes the matrix-vector product m·v, the core of DD-based
+// simulation (Ex. 9, Fig. 4 of the paper).
+func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
+	if p.tracer == nil {
+		return p.multMV(m, v)
+	}
+	start := time.Now()
+	res := p.multMV(m, v)
+	p.traced(OpMultMV, start)
+	return res
+}
+
+// MultMM computes the matrix-matrix product a·b (a applied after b),
+// used to build circuit functionality U = U_{m-1}···U_0.
+func (p *Pkg) MultMM(a, b MEdge) MEdge {
+	if p.tracer == nil {
+		return p.multMM(a, b)
+	}
+	start := time.Now()
+	res := p.multMM(a, b)
+	p.traced(OpMultMM, start)
+	return res
+}
+
+// KronM computes the tensor product a⊗b, where b spans the
+// lowerQubits bottom levels (Fig. 3 of the paper).
+func (p *Pkg) KronM(a, b MEdge, lowerQubits int) MEdge {
+	if p.tracer == nil {
+		return p.kronM(a, b, lowerQubits)
+	}
+	start := time.Now()
+	res := p.kronM(a, b, lowerQubits)
+	p.traced(OpKron, start)
+	return res
+}
+
+// ConjTranspose returns the conjugate transpose (adjoint) m† of the
+// matrix diagram.
+func (p *Pkg) ConjTranspose(m MEdge) MEdge {
+	if p.tracer == nil {
+		return p.conjTranspose(m)
+	}
+	start := time.Now()
+	res := p.conjTranspose(m)
+	p.traced(OpConjTranspose, start)
+	return res
+}

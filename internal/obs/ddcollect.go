@@ -1,0 +1,138 @@
+package obs
+
+// DDCollector bridges the dd engine into the registry: a tracer that
+// feeds per-operation latency histograms, and gauge recording for
+// Stats snapshots. The web server records an aggregate snapshot over
+// all live sessions at scrape time; the CLI tools record the final
+// snapshot of a run before dumping the registry — both read the same
+// family names, so bench trajectories and server dashboards line up.
+
+import (
+	"time"
+
+	"quantumdd/internal/dd"
+)
+
+// DDCollector owns the dd_* metric series of one registry.
+type DDCollector struct {
+	opDur   [dd.NumOps]*Histogram
+	gcPause *Histogram
+
+	nodesLive   *Gauge
+	nodesFree   *Gauge
+	nodesPeak   *Gauge
+	hitRatio    *Gauge
+	uniqueLoadV *Gauge
+	uniqueLoadM *Gauge
+
+	nodesCreated   *Gauge
+	nodesRecycled  *Gauge
+	nodesFreed     *Gauge
+	utCollisions   *Gauge
+	ctStores       *Gauge
+	ctEvictions    *Gauge
+	gcRuns         *Gauge
+	gcPauseSeconds *Gauge
+}
+
+// NewDDCollector registers (or re-binds) the dd metric families on r.
+func NewDDCollector(r *Registry) *DDCollector {
+	c := &DDCollector{}
+	for op := dd.Op(0); op < dd.NumOps; op++ {
+		c.opDur[op] = r.Histogram("dd_op_duration_seconds",
+			"Latency of top-level decision-diagram operations.",
+			LatencyBuckets, L("op", op.String()))
+	}
+	c.gcPause = r.Histogram("dd_gc_pause_seconds",
+		"Duration of decision-diagram garbage collections.", LatencyBuckets)
+	c.nodesLive = r.Gauge("dd_nodes_live",
+		"Nodes currently held in the unique tables, summed over live packages.")
+	c.nodesFree = r.Gauge("dd_nodes_free",
+		"Nodes parked on the arena free lists, awaiting recycling.")
+	c.hitRatio = r.Gauge("dd_compute_table_hit_ratio",
+		"Fraction of compute-table lookups served from cache.")
+	c.uniqueLoadV = r.Gauge("dd_unique_table_load",
+		"Unique-table load factor (entries per bucket).", L("kind", "vector"))
+	c.uniqueLoadM = r.Gauge("dd_unique_table_load",
+		"Unique-table load factor (entries per bucket).", L("kind", "matrix"))
+	c.nodesCreated = r.Gauge("dd_nodes_created",
+		"Unique-table misses (nodes created) over live packages.")
+	c.nodesRecycled = r.Gauge("dd_nodes_recycled",
+		"Node allocations served from the free lists over live packages.")
+	c.nodesFreed = r.Gauge("dd_nodes_freed",
+		"Nodes swept by garbage collection over live packages.")
+	c.utCollisions = r.Gauge("dd_unique_table_collisions",
+		"Unique-table chain entries probed past the bucket head.")
+	c.ctStores = r.Gauge("dd_compute_table_stores",
+		"Compute-table stores over live packages.")
+	c.ctEvictions = r.Gauge("dd_compute_table_evictions",
+		"Compute-table stores that displaced a live entry.")
+	c.gcRuns = r.Gauge("dd_gc_runs",
+		"Garbage collections run over live packages.")
+	c.gcPauseSeconds = r.Gauge("dd_gc_pause_seconds_total",
+		"Cumulative wall-clock seconds spent in garbage collection.")
+	return c
+}
+
+// Tracer returns the dd.TraceFunc feeding the latency histograms.
+// Safe for concurrent use by several packages.
+func (c *DDCollector) Tracer() dd.TraceFunc {
+	return func(op dd.Op, d time.Duration) {
+		if op >= dd.NumOps {
+			return
+		}
+		c.opDur[op].ObserveSeconds(int64(d))
+		if op == dd.OpGC {
+			c.gcPause.ObserveSeconds(int64(d))
+		}
+	}
+}
+
+// Record sets the snapshot gauges from one Stats value. The snapshot
+// may be a single package's stats or an aggregate built with AddStats.
+func (c *DDCollector) Record(st dd.Stats) {
+	c.nodesLive.Set(float64(st.LiveNodes))
+	c.nodesFree.Set(float64(st.FreeNodesV + st.FreeNodesM))
+	if st.CacheLookups > 0 {
+		c.hitRatio.Set(float64(st.CacheHits) / float64(st.CacheLookups))
+	} else {
+		c.hitRatio.Set(0)
+	}
+	c.uniqueLoadV.Set(st.UniqueLoadV)
+	c.uniqueLoadM.Set(st.UniqueLoadM)
+	c.nodesCreated.Set(float64(st.NodesCreatedV + st.NodesCreatedM))
+	c.nodesRecycled.Set(float64(st.NodesRecycledV + st.NodesRecycledM))
+	c.nodesFreed.Set(float64(st.NodesFreed))
+	c.utCollisions.Set(float64(st.UTCollisions))
+	c.ctStores.Set(float64(st.CTStores))
+	c.ctEvictions.Set(float64(st.CTEvictions))
+	c.gcRuns.Set(float64(st.GCRuns))
+	c.gcPauseSeconds.Set(float64(st.GCPauseNS) / 1e9)
+}
+
+// AddStats accumulates b into a for building fleet-wide aggregates
+// over several packages' snapshots. Load factors are averaged at the
+// end by Record callers dividing by the package count — here they are
+// summed; divide before recording if a mean is wanted.
+func AddStats(a, b dd.Stats) dd.Stats {
+	a.NodesCreatedV += b.NodesCreatedV
+	a.NodesCreatedM += b.NodesCreatedM
+	a.UniqueHitsV += b.UniqueHitsV
+	a.UniqueHitsM += b.UniqueHitsM
+	a.CacheLookups += b.CacheLookups
+	a.CacheHits += b.CacheHits
+	a.GCRuns += b.GCRuns
+	a.NodesFreed += b.NodesFreed
+	a.GCPauseNS += b.GCPauseNS
+	a.NodesRecycledV += b.NodesRecycledV
+	a.NodesRecycledM += b.NodesRecycledM
+	a.UTCollisions += b.UTCollisions
+	a.CTStores += b.CTStores
+	a.CTEvictions += b.CTEvictions
+	a.UniqueLoadV += b.UniqueLoadV
+	a.UniqueLoadM += b.UniqueLoadM
+	a.FreeNodesV += b.FreeNodesV
+	a.FreeNodesM += b.FreeNodesM
+	a.LiveNodes += b.LiveNodes
+	return a
+}

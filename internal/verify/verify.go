@@ -132,10 +132,20 @@ func Check(c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
 	if c1.NQubits != c2.NQubits {
 		return nil, fmt.Errorf("verify: qubit counts differ (%d vs %d); ancillary registers are not supported", c1.NQubits, c2.NQubits)
 	}
+	return CheckOn(dd.New(c1.NQubits), c1, c2, strategy)
+}
+
+// CheckOn is Check running on a caller-supplied DD package, so the
+// caller keeps a handle on the engine for statistics after the run
+// (ddverify's -metrics-dump). The package must be at least as wide as
+// the circuits.
+func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+	if c1.NQubits != c2.NQubits {
+		return nil, fmt.Errorf("verify: qubit counts differ (%d vs %d); ancillary registers are not supported", c1.NQubits, c2.NQubits)
+	}
 	if c1.HasNonUnitary() || c2.HasNonUnitary() {
 		return nil, fmt.Errorf("verify: measurements, resets and classically-controlled operations are not supported in verification")
 	}
-	p := dd.New(c1.NQubits)
 	switch strategy {
 	case Construction:
 		return checkConstruction(p, c1, c2)

@@ -14,10 +14,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"time"
 
+	"quantumdd/internal/obs"
 	"quantumdd/internal/qc"
 )
 
@@ -47,7 +49,32 @@ type Config struct {
 	// fast-forward loops, via a context deadline.
 	RequestTimeout time.Duration
 	// Logger receives request, panic, and eviction logs. Nil discards.
+	// Every component (middleware, handlers, session reaper) logs
+	// through this one injected logger, decorated with request-ID and
+	// session-ID attributes, so one trace ID threads a request's whole
+	// story together.
 	Logger *slog.Logger
+	// Metrics receives the server's metric series (HTTP traffic,
+	// sessions, DD engine). Nil uses obs.Default, which is what
+	// production wants: one registry per process, scraped once.
+	Metrics *obs.Registry
+}
+
+// logger resolves the injected logger, discarding when none is set,
+// so every component shares exactly one logging pipeline.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// registry resolves the metrics registry analogously.
+func (c Config) registry() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
 }
 
 // DefaultConfig returns the limits ddvis ships with.

@@ -1,0 +1,137 @@
+package web
+
+// Server metrics: HTTP traffic, session lifecycle, and the aggregated
+// DD engine view over all live sessions.
+//
+// Hot-path series (request counters, latency histograms, in-flight
+// gauge) are updated inline by the middleware — atomic and
+// allocation-free. Point-in-time gauges (active sessions, tombstones,
+// DD table loads) are refreshed at scrape time by collect(), which
+// reads each session's atomically published stats snapshot
+// (dd.Pkg.LastStats) — it never takes a session lock, so a scrape
+// cannot stall behind a long fast-forward, and a mid-step GC cannot
+// race the reader.
+
+import (
+	"net/http"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/obs"
+)
+
+type serverMetrics struct {
+	registry *obs.Registry
+	dd       *obs.DDCollector
+
+	// Middleware-maintained traffic series.
+	reqByClass  [6]*obs.Counter // index = status/100; 0 unused
+	reqDuration *obs.Histogram
+	inFlight    *obs.Gauge
+	panics      *obs.Counter
+
+	// Session lifecycle.
+	simsActive     *obs.Gauge
+	verifiesActive *obs.Gauge
+	simsTombs      *obs.Gauge
+	verifiesTombs  *obs.Gauge
+	simsCreated    *obs.Counter
+	verifiesCreated *obs.Counter
+	evictedLRU     *obs.Counter
+	evictedTTL     *obs.Counter
+	reaperSweeps   *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	m := &serverMetrics{registry: r, dd: obs.NewDDCollector(r)}
+	classes := [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i := 1; i < len(classes); i++ {
+		m.reqByClass[i] = r.Counter("http_requests_total",
+			"HTTP requests served, by status class.", obs.L("code", classes[i]))
+	}
+	m.reqDuration = r.Histogram("http_request_duration_seconds",
+		"End-to-end request latency.", obs.LatencyBuckets)
+	m.inFlight = r.Gauge("http_requests_in_flight",
+		"Requests currently being served.")
+	m.panics = r.Counter("http_panics_recovered_total",
+		"Handler panics recovered by the middleware.")
+	m.simsActive = r.Gauge("sessions_active",
+		"Live sessions, by kind.", obs.L("kind", "sim"))
+	m.verifiesActive = r.Gauge("sessions_active",
+		"Live sessions, by kind.", obs.L("kind", "verify"))
+	m.simsTombs = r.Gauge("session_tombstones",
+		"Evicted session ids remembered for 410 answers, by kind.", obs.L("kind", "sim"))
+	m.verifiesTombs = r.Gauge("session_tombstones",
+		"Evicted session ids remembered for 410 answers, by kind.", obs.L("kind", "verify"))
+	m.simsCreated = r.Counter("sessions_created_total",
+		"Sessions created, by kind.", obs.L("kind", "sim"))
+	m.verifiesCreated = r.Counter("sessions_created_total",
+		"Sessions created, by kind.", obs.L("kind", "verify"))
+	m.evictedLRU = r.Counter("sessions_evicted_total",
+		"Sessions evicted, by reason.", obs.L("reason", "lru"))
+	m.evictedTTL = r.Counter("sessions_evicted_total",
+		"Sessions evicted, by reason.", obs.L("reason", "ttl"))
+	m.reaperSweeps = r.Counter("session_reaper_sweeps_total",
+		"Idle-session reaper sweeps completed.")
+	return m
+}
+
+// observeStatus counts a finished request under its status class.
+func (m *serverMetrics) observeStatus(status int) {
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	m.reqByClass[class].Inc()
+}
+
+// collect refreshes the point-in-time gauges: session counts and the
+// DD aggregate over every live session's last published snapshot.
+func (s *Server) collect() {
+	m := s.metrics
+	m.simsActive.Set(float64(s.sims.size()))
+	m.verifiesActive.Set(float64(s.verifies.size()))
+	m.simsTombs.Set(float64(s.sims.tombCount()))
+	m.verifiesTombs.Set(float64(s.verifies.tombCount()))
+
+	var agg dd.Stats
+	pkgs := 0
+	s.sims.forEach(func(id string, sess *simSession) {
+		if st, ok := sess.sim.Pkg().LastStats(); ok {
+			agg = obs.AddStats(agg, st)
+			pkgs++
+		}
+	})
+	s.verifies.forEach(func(id string, sess *verifySession) {
+		if st, ok := sess.pkg.LastStats(); ok {
+			agg = obs.AddStats(agg, st)
+			pkgs++
+		}
+	})
+	if pkgs > 1 {
+		// Load factors are per-package ratios; expose the mean.
+		agg.UniqueLoadV /= float64(pkgs)
+		agg.UniqueLoadM /= float64(pkgs)
+	}
+	m.dd.Record(agg)
+}
+
+// MetricsHandler serves this server's registry in Prometheus text
+// format, refreshing the session gauges first. It backs both the
+// public GET /metrics route and the admin listener of cmd/ddvis.
+func (s *Server) MetricsHandler() http.Handler {
+	inner := obs.Handler(s.metrics.registry)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.collect()
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// Metrics exposes the server's registry for embedding callers.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.registry }
+
+// instrument installs the engine tracer on a session's DD package so
+// its operation latencies land in the shared histograms, and
+// publishes the initial stats snapshot for scrape-time reads.
+func (s *Server) instrument(p *dd.Pkg) {
+	p.SetTracer(s.metrics.dd.Tracer())
+}

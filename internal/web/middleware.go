@@ -1,13 +1,16 @@
 package web
 
-// Request hardening middleware: request IDs, access logging, panic
-// recovery, body size caps, and per-request deadlines. One panicking
-// or runaway request must cost its caller an error response, never the
-// process or other users' sessions.
+// Request hardening and observability middleware: request IDs, access
+// logging, panic recovery, body size caps, per-request deadlines, and
+// the traffic metrics (request counts by status class, latency
+// histogram, in-flight gauge). One panicking or runaway request must
+// cost its caller an error response, never the process or other
+// users' sessions.
 
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"time"
@@ -15,7 +18,10 @@ import (
 
 type ctxKey int
 
-const ctxKeyRequestID ctxKey = iota
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyLogger
+)
 
 // requestID returns the id the middleware assigned to this request
 // ("" outside the middleware chain, e.g. in direct handler tests).
@@ -24,8 +30,20 @@ func requestID(r *http.Request) string {
 	return id
 }
 
-// statusWriter records what was sent so the recovery and logging
-// layers know the response status and whether headers are still open.
+// reqLogger returns the request-scoped logger: the server's injected
+// logger decorated with the request-ID attribute. Handlers log
+// through this so every line of a request's story carries the same
+// id. Outside the middleware chain it falls back to the bare logger.
+func (s *Server) reqLogger(r *http.Request) *slog.Logger {
+	if l, ok := r.Context().Value(ctxKeyLogger).(*slog.Logger); ok {
+		return l
+	}
+	return s.logger
+}
+
+// statusWriter records what was sent so the recovery, logging and
+// metrics layers know the response status and whether headers are
+// still open.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -49,12 +67,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // withMiddleware wraps next with the hardening chain: request-ID
-// tagging, body size cap, per-request deadline, panic recovery, and
-// access logging.
+// tagging, body size cap, per-request deadline, panic recovery,
+// access logging, and traffic metrics.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%d", s.nextReqID.Add(1))
 		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		ctx = context.WithValue(ctx, ctxKeyLogger, s.logger.With("requestId", id))
 		if s.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -67,10 +86,12 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		s.metrics.inFlight.Inc()
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.logger.Error("panic recovered",
-					"requestId", id, "method", r.Method, "path", r.URL.Path,
+				s.metrics.panics.Inc()
+				s.reqLogger(r).Error("panic recovered",
+					"method", r.Method, "path", r.URL.Path,
 					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				if !sw.wrote {
 					s.writeErr(sw, r, http.StatusInternalServerError, codeInternal,
@@ -81,9 +102,13 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			if !sw.wrote {
 				status = http.StatusOK
 			}
-			s.logger.Info("request",
-				"requestId", id, "method", r.Method, "path", r.URL.Path,
-				"status", status, "duration", time.Since(start))
+			elapsed := time.Since(start)
+			s.metrics.inFlight.Dec()
+			s.metrics.observeStatus(status)
+			s.metrics.reqDuration.ObserveSeconds(int64(elapsed))
+			s.reqLogger(r).Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", status, "duration", elapsed)
 		}()
 		next.ServeHTTP(sw, r)
 	})

@@ -170,3 +170,27 @@ func (r *registry[T]) size() int {
 	defer r.mu.RUnlock()
 	return len(r.entries)
 }
+
+// tombCount reports the number of remembered evicted ids.
+func (r *registry[T]) tombCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tombs)
+}
+
+// forEach visits every live session WITHOUT taking the per-session
+// locks: f observes the stored value concurrently with requests, so
+// it must restrict itself to race-clean reads (atomically published
+// state such as dd.Pkg.LastStats). This is what keeps the metrics
+// scrape from stalling behind a long-running fast-forward.
+func (r *registry[T]) forEach(f func(id string, v T)) {
+	r.mu.RLock()
+	handles := make([]*handle[T], 0, len(r.entries))
+	for _, h := range r.entries {
+		handles = append(handles, h)
+	}
+	r.mu.RUnlock()
+	for _, h := range handles {
+		f(h.id, h.val)
+	}
+}

@@ -32,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "image/svg+xml")
 		fmt.Fprint(w, vis.ColorWheelSVG(160))
 	})
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("GET /api/examples", s.handleExamples)
 	mux.HandleFunc("POST /api/simulation", s.handleNewSimulation)
 	mux.HandleFunc("POST /api/simulation/{id}/step", s.handleSimStep)
@@ -77,8 +78,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
-		s.logger.Error("response encoding failed",
-			"requestId", requestID(r), "path", r.URL.Path, "error", err)
+		s.reqLogger(r).Error("response encoding failed", "path", r.URL.Path, "error", err)
 	}
 }
 
@@ -146,13 +146,16 @@ func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := newSimSession(circ, s.cfg.Seed, s.cfg.MaxNodes)
+	s.instrument(sess.sim.Pkg())
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	// Render before publishing: the session is not yet reachable, so no
 	// lock is needed and a rendering panic cannot leak a broken session.
 	frame := simFrame(sess, style, "initial state |0…0⟩")
 	id := s.newID("sim")
+	s.metrics.simsCreated.Inc()
 	if evicted := s.sims.put(id, sess, time.Now()); evicted != "" {
-		s.logger.Info("evicted LRU session", "evicted", evicted, "for", id)
+		s.metrics.evictedLRU.Inc()
+		s.reqLogger(r).Info("evicted LRU session", "sessionId", id, "evictedSessionId", evicted)
 	}
 	s.writeJSON(w, r, http.StatusOK, map[string]interface{}{
 		"id":    id,
@@ -507,11 +510,14 @@ func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
+	s.instrument(sess.pkg)
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	frame := verifyFrame(sess, style, "identity")
 	id := s.newID("verify")
+	s.metrics.verifiesCreated.Inc()
 	if evicted := s.verifies.put(id, sess, time.Now()); evicted != "" {
-		s.logger.Info("evicted LRU session", "evicted", evicted, "for", id)
+		s.metrics.evictedLRU.Inc()
+		s.reqLogger(r).Info("evicted LRU session", "sessionId", id, "evictedSessionId", evicted)
 	}
 	s.writeJSON(w, r, http.StatusOK, map[string]interface{}{
 		"id":    id,

@@ -9,7 +9,6 @@ package web
 import (
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"strings"
 	"sync"
@@ -282,8 +281,9 @@ func (v *verifySession) identity() string {
 // Server hosts the tool: static page plus JSON API, with an in-memory
 // session store governed by the limits in Config.
 type Server struct {
-	cfg    Config
-	logger *slog.Logger
+	cfg     Config
+	logger  *slog.Logger
+	metrics *serverMetrics
 
 	nextSessID atomic.Int64
 	nextReqID  atomic.Int64
@@ -307,13 +307,10 @@ func NewServer(seed int64) *Server {
 // (zero values disable the corresponding limit). When SessionTTL is
 // set, a background reaper evicts idle sessions until Close is called.
 func NewServerWithConfig(cfg Config) *Server {
-	logger := cfg.Logger
-	if logger == nil {
-		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
-	}
 	s := &Server{
 		cfg:      cfg,
-		logger:   logger,
+		logger:   cfg.logger(),
+		metrics:  newServerMetrics(cfg.registry()),
 		sims:     newRegistry[*simSession](cfg.MaxSessions, cfg.SessionTTL),
 		verifies: newRegistry[*verifySession](cfg.MaxSessions, cfg.SessionTTL),
 	}
@@ -359,8 +356,11 @@ func (s *Server) reaper() {
 // from the reaper loop so tests can trigger eviction deterministically.
 func (s *Server) reapIdle(now time.Time) int {
 	reaped := append(s.sims.reap(now), s.verifies.reap(now)...)
+	s.metrics.reaperSweeps.Inc()
 	if len(reaped) > 0 {
-		s.logger.Info("reaped idle sessions", "count", len(reaped), "ids", reaped)
+		s.metrics.evictedTTL.Add(uint64(len(reaped)))
+		s.logger.Info("reaped idle sessions",
+			"component", "reaper", "count", len(reaped), "sessionIds", reaped)
 	}
 	return len(reaped)
 }
