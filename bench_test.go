@@ -51,6 +51,8 @@ func BenchmarkA3StrategyAblation(b *testing.B)        { runExperiment(b, "A3") }
 func BenchmarkA4NormalizationAblation(b *testing.B)   { runExperiment(b, "A4") }
 func BenchmarkA5ApproximationSweep(b *testing.B)      { runExperiment(b, "A5") }
 func BenchmarkA6VariableOrderSifting(b *testing.B)    { runExperiment(b, "A6") }
+func BenchmarkK1KernelVsGeneric(b *testing.B)         { runExperiment(b, "K1") }
+func BenchmarkK2PeepholeFusion(b *testing.B)          { runExperiment(b, "K2") }
 
 // --- micro benchmarks of the DD engine primitives ---
 
@@ -124,6 +126,98 @@ func BenchmarkMicroMultMV(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = pkg.MultMV(h, state)
+	}
+}
+
+// BenchmarkMicroApplyGate times the direct gate-application kernel on
+// the same wide structured state as BenchmarkMicroMultMV — the same
+// logical operation without the matrix diagram.
+func BenchmarkMicroApplyGate(b *testing.B) {
+	s := sim.New(algorithms.GHZ(24))
+	if _, err := s.RunToEnd(); err != nil {
+		b.Fatal(err)
+	}
+	state := s.State()
+	pkg := s.Pkg()
+	h := dd.GateMatrix(qc.Matrix2(qc.H, nil))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pkg.ApplyGate(state, h, 12)
+	}
+}
+
+// BenchmarkMicroGateDDMultMV is the full generic baseline the kernel
+// replaces: fetch (or build) the gate diagram, then multiply.
+func BenchmarkMicroGateDDMultMV(b *testing.B) {
+	s := sim.New(algorithms.GHZ(24))
+	if _, err := s.RunToEnd(); err != nil {
+		b.Fatal(err)
+	}
+	state := s.State()
+	pkg := s.Pkg()
+	h := dd.GateMatrix(qc.Matrix2(qc.H, nil))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pkg.MultMV(pkg.MakeGateDD(h, 12), state)
+	}
+}
+
+// rotationLadderCirc mirrors the compiled-circuit shape of the K2
+// experiment: per layer an rz·ry·rz Euler run on every qubit, then a
+// CX ring.
+func rotationLadderCirc(n, layers int) *qc.Circuit {
+	c := qc.New(n, 0)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			a := 0.3 + 0.1*float64(l*n+q)
+			c.Gate(qc.RZ, []float64{a}, q)
+			c.Gate(qc.RY, []float64{a / 2}, q)
+			c.Gate(qc.RZ, []float64{a / 3}, q)
+		}
+		for q := 0; q < n; q++ {
+			c.CX(q, (q+1)%n)
+		}
+	}
+	return c
+}
+
+// BenchmarkMicroSimRotations / ...Fused time the rotation ladder with
+// and without peephole fusion.
+func BenchmarkMicroSimRotations(b *testing.B) {
+	circ := rotationLadderCirc(12, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(circ)
+		if _, err := s.RunToEnd(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSimRotationsFused(b *testing.B) {
+	circ := rotationLadderCirc(12, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(circ, sim.WithFusion())
+		if _, err := s.RunToEnd(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSimGHZGeneric pins the pre-kernel simulation path so
+// the GHZ pair (with BenchmarkMicroGHZSimulation, which now uses the
+// kernel) tracks the hot-path speedup end to end.
+func BenchmarkMicroSimGHZGeneric(b *testing.B) {
+	circ := algorithms.GHZ(20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(circ, sim.WithGenericApply())
+		if _, err := s.RunToEnd(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

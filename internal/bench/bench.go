@@ -60,6 +60,10 @@ func All() []Experiment {
 			Paper: "size/fidelity trade-off against the exponential worst case", Run: runA5},
 		{ID: "A6", Title: "Extension: variable order and sifting (Sec. III-C)",
 			Paper: "canonicity is relative to the variable order; order can matter exponentially", Run: runA6},
+		{ID: "K1", Title: "Kernel: direct gate application vs MakeGateDD+MultMV",
+			Paper: "identity-skipping descent beats the generic multiply on the hot path", Run: runK1},
+		{ID: "K2", Title: "Kernel: peephole gate fusion on rotation runs",
+			Paper: "folding rz·ry·rz runs into one 2×2 apply preserves the state", Run: runK2},
 	}
 }
 

@@ -1,0 +1,169 @@
+package bench
+
+// Kernel studies (PR 4): quantify the direct gate-application kernel
+// against the MakeGateDD+MultMV baseline it replaces on the simulation
+// hot path, and the peephole fusion pass on rotation-heavy circuits.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"time"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/qc"
+	"quantumdd/internal/sim"
+)
+
+// kernelScenario is one before/after timing pair: the same circuit run
+// through the generic MakeGateDD+MultMV path and through the ApplyGate
+// kernel.
+type kernelScenario struct {
+	name string
+	circ *qc.Circuit
+	reps int // simulator runs per timing sample, amortizing setup
+}
+
+// rotationLadder builds the compiled-circuit shape dominated by Euler
+// rotation runs: per layer, rz·ry·rz on every qubit followed by a CX
+// ring — adjacent same-target single-qubit runs everywhere, the
+// peephole fusion target.
+func rotationLadder(n, layers int) *qc.Circuit {
+	c := qc.New(n, 0)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			a := 0.3 + 0.1*float64(l*n+q)
+			c.Gate(qc.RZ, []float64{a}, q)
+			c.Gate(qc.RY, []float64{a / 2}, q)
+			c.Gate(qc.RZ, []float64{a / 3}, q)
+		}
+		for q := 0; q < n; q++ {
+			c.CX(q, (q+1)%n)
+		}
+	}
+	return c
+}
+
+// qaoaCircuit builds a MaxCut ring ansatz with two distinct layers —
+// the parameterized sweep workload of A-series experiments.
+func qaoaCircuit(n int) *qc.Circuit {
+	circ, err := algorithms.QAOAMaxCut(algorithms.Ring(n),
+		[]float64{0.7, 1.3}, []float64{0.4, 0.9})
+	if err != nil {
+		panic(err)
+	}
+	return circ
+}
+
+func timeSim(circ *qc.Circuit, reps int, opts ...sim.Option) time.Duration {
+	return timeIt(func() {
+		for r := 0; r < reps; r++ {
+			s := sim.New(circ, opts...)
+			if _, err := s.RunToEnd(); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// runK1 measures the ApplyGate kernel against the generic path on the
+// GHZ, QAOA and random-entangled scenarios and cross-checks that both
+// paths produce identical final amplitudes.
+func runK1(w io.Writer) (Summary, error) {
+	scenarios := []kernelScenario{
+		{"ghz20", algorithms.GHZ(20), 20},
+		{"qaoa12", qaoaCircuit(12), 1},
+		{"entangled12", algorithms.Entangled(12, 5, 3), 1},
+	}
+	fmt.Fprintf(w, "%-14s %14s %14s %10s\n", "scenario", "generic", "kernel", "speedup")
+	sum := Summary{}
+	best := 0.0
+	for _, sc := range scenarios {
+		// Differential cross-check before timing: the kernel must be
+		// bit-identical to the oracle on the canonical amplitudes.
+		fast := sim.New(sc.circ)
+		if _, err := fast.RunToEnd(); err != nil {
+			return nil, err
+		}
+		slow := sim.New(sc.circ, sim.WithGenericApply())
+		if _, err := slow.RunToEnd(); err != nil {
+			return nil, err
+		}
+		a, b := fast.Amplitudes(), slow.Amplitudes()
+		for i := range a {
+			if cmplx.Abs(a[i]-b[i]) > 1e-10 {
+				return nil, fmt.Errorf("%s: kernel amplitude %d deviates from generic", sc.name, i)
+			}
+		}
+		generic := timeSim(sc.circ, sc.reps, sim.WithGenericApply())
+		kernel := timeSim(sc.circ, sc.reps)
+		speedup := float64(generic) / float64(kernel)
+		fmt.Fprintf(w, "%-14s %14s %14s %9.2fx\n", sc.name, generic, kernel, speedup)
+		sum["speedup_"+sc.name] = speedup
+		if speedup > best {
+			best = speedup
+		}
+	}
+	sum["speedup_best"] = best
+	if best < 0.8 {
+		return nil, fmt.Errorf("kernel slower than the generic path on every scenario (best %.2fx)", best)
+	}
+	return sum, nil
+}
+
+// runK2 measures peephole fusion on the rotation ladder and proves the
+// pass fires: the summary line carries fused=N for the CI smoke guard.
+func runK2(w io.Writer) (Summary, error) {
+	circ := rotationLadder(12, 3)
+	plain := sim.New(circ)
+	if _, err := plain.RunToEnd(); err != nil {
+		return nil, err
+	}
+	fused := sim.New(circ, sim.WithFusion())
+	if _, err := fused.RunToEnd(); err != nil {
+		return nil, err
+	}
+	a, b := plain.Amplitudes(), fused.Amplitudes()
+	maxDiff := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-10 {
+		return nil, fmt.Errorf("fusion changed the state (max amplitude diff %g)", maxDiff)
+	}
+	nFused := fused.Pkg().Stats().GatesFused
+	unfusedT := timeIt(func() {
+		s := sim.New(circ)
+		if _, err := s.RunToEnd(); err != nil {
+			panic(err)
+		}
+	})
+	fusedT := timeIt(func() {
+		s := sim.New(circ, sim.WithFusion())
+		if _, err := s.RunToEnd(); err != nil {
+			panic(err)
+		}
+	})
+	speedup := float64(unfusedT) / float64(fusedT)
+	fmt.Fprintf(w, "%-20s %14s %14s %10s %8s\n", "circuit", "unfused", "fused", "speedup", "fused")
+	fmt.Fprintf(w, "%-20s %14s %14s %9.2fx fused=%d\n", "rotation-ladder(12,3)", unfusedT, fusedT, speedup, nFused)
+	if nFused == 0 {
+		return nil, fmt.Errorf("fusion pass never fired on the rotation ladder")
+	}
+	// Each (rz, ry, rz) run folds 3 gates into 1: 3 layers × 12 qubits
+	// × 2 saved gates.
+	if want := uint64(3 * 12 * 2); nFused != want {
+		return nil, fmt.Errorf("GatesFused = %d, want %d", nFused, want)
+	}
+	if math.IsNaN(speedup) || speedup <= 0 {
+		return nil, fmt.Errorf("degenerate fusion timing")
+	}
+	return Summary{
+		"gatesFused":    float64(nFused),
+		"fusionSpeedup": speedup,
+		"maxAmpDiff":    maxDiff,
+	}, nil
+}

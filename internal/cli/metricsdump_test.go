@@ -17,7 +17,7 @@ func TestDdsimMetricsDump(t *testing.T) {
 	for _, want := range []string{
 		"# metrics snapshot (Prometheus text format)",
 		"# TYPE dd_op_duration_seconds histogram",
-		`dd_op_duration_seconds_count{op="multmv"}`,
+		`dd_op_duration_seconds_count{op="applygate"}`,
 		"dd_compute_table_hit_ratio",
 		"dd_nodes_live",
 	} {
@@ -25,10 +25,11 @@ func TestDdsimMetricsDump(t *testing.T) {
 			t.Fatalf("dump missing %q:\n%s", want, o)
 		}
 	}
-	// The simulator applied gates, so the multmv histogram is nonempty
-	// and the engine's final stats landed in the gauges.
-	if strings.Contains(o, `dd_op_duration_seconds_count{op="multmv"} 0`) {
-		t.Fatalf("multmv histogram empty after a run:\n%s", o)
+	// The simulator routed gates through the apply kernel, so its
+	// histogram is nonempty and the engine's final stats landed in the
+	// gauges.
+	if strings.Contains(o, `dd_op_duration_seconds_count{op="applygate"} 0`) {
+		t.Fatalf("applygate histogram empty after a run:\n%s", o)
 	}
 	if strings.Contains(o, "\ndd_nodes_live 0\n") {
 		t.Fatalf("live-node gauge not recorded:\n%s", o)

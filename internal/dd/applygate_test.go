@@ -1,0 +1,283 @@
+package dd
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randGateMatrix draws a 2×2 unitary from the gate families the
+// differential tests must cover: Clifford+T plus parameterized
+// rotations and phases.
+func randGateMatrix(rng *rand.Rand) GateMatrix {
+	sh := complex(math.Sqrt(0.5), 0)
+	switch rng.Intn(8) {
+	case 0:
+		return gateX
+	case 1:
+		return gateZ
+	case 2:
+		return gateH
+	case 3: // S
+		return GateMatrix{1, 0, 0, complex(0, 1)}
+	case 4: // T
+		return GateMatrix{1, 0, 0, cmplx.Exp(complex(0, math.Pi/4))}
+	case 5: // RX(θ)
+		th := rng.Float64() * 2 * math.Pi
+		c, s := complex(math.Cos(th/2), 0), complex(0, -math.Sin(th/2))
+		return GateMatrix{c, s, s, c}
+	case 6: // RY(θ)
+		th := rng.Float64() * 2 * math.Pi
+		c, s := complex(math.Cos(th/2), 0), complex(math.Sin(th/2), 0)
+		return GateMatrix{c, -s, s, c}
+	default: // P(θ) up to Hadamard basis change
+		th := rng.Float64() * 2 * math.Pi
+		_ = sh
+		return GateMatrix{1, 0, 0, cmplx.Exp(complex(0, th))}
+	}
+}
+
+// randControls draws up to two control lines on qubits other than
+// target, mixing positive and negative polarity, both above and below
+// the target level.
+func randControls(rng *rand.Rand, n, target int) []Control {
+	var free []int
+	for q := 0; q < n; q++ {
+		if q != target {
+			free = append(free, q)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	k := rng.Intn(3)
+	if k > len(free) {
+		k = len(free)
+	}
+	ctl := make([]Control, 0, k)
+	for _, q := range free[:k] {
+		ctl = append(ctl, Control{Qubit: q, Neg: rng.Intn(2) == 1})
+	}
+	return ctl
+}
+
+// randState builds a random sparse state vector: roughly a third of
+// the amplitudes are hard zeros so the diagram carries zero stubs.
+func randState(t *testing.T, p *Pkg, rng *rand.Rand, n int) VEdge {
+	t.Helper()
+	amps := make([]complex128, 1<<uint(n))
+	nonzero := false
+	for i := range amps {
+		if rng.Float64() < 0.35 {
+			continue
+		}
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		nonzero = true
+	}
+	if !nonzero {
+		amps[rng.Intn(len(amps))] = 1
+	}
+	e, err := p.FromVector(amps)
+	if err != nil {
+		t.Fatalf("FromVector: %v", err)
+	}
+	return e
+}
+
+// TestApplyGateMatchesGenericRandom is the core differential test: on
+// random states over 1–10 qubits, ApplyGate must return exactly the
+// canonical root edge that the generic MakeGateDD+MultMV path builds —
+// pointer-identical node, identical weight — including multi-controlled
+// gates with controls above and below the target.
+func TestApplyGateMatchesGenericRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 1; n <= 10; n++ {
+		p := New(n)
+		for trial := 0; trial < 12; trial++ {
+			state := randState(t, p, rng, n)
+			p.IncRefV(state)
+			// Chain a few gates so later applications see non-trivial
+			// diagram structure produced by earlier ones.
+			for g := 0; g < 4; g++ {
+				u := randGateMatrix(rng)
+				target := rng.Intn(n)
+				ctl := randControls(rng, n, target)
+				want := p.MultMV(p.MakeGateDD(u, target, ctl...), state)
+				got := p.ApplyGate(state, u, target, ctl...)
+				if got != want {
+					t.Fatalf("n=%d trial=%d gate=%d target=%d ctl=%v: kernel edge %v != generic %v",
+						n, trial, g, target, ctl, got, want)
+				}
+				p.IncRefV(got)
+				p.DecRefV(state)
+				state = got
+			}
+			p.DecRefV(state)
+		}
+	}
+}
+
+// TestApplyGateControlsBelowTarget pins the trickiest kernel path —
+// the active/inactive split when control lines sit below the target —
+// on small hand-checkable cases.
+func TestApplyGateControlsBelowTarget(t *testing.T) {
+	p := New(3)
+	plus := p.MultMV(p.MakeGateDD(gateH, 0), p.ZeroState())
+	plus = p.MultMV(p.MakeGateDD(gateH, 1), plus)
+	plus = p.MultMV(p.MakeGateDD(gateH, 2), plus)
+	cases := []struct {
+		u      GateMatrix
+		target int
+		ctl    []Control
+	}{
+		{gateX, 2, []Control{{Qubit: 0}}},
+		{gateX, 2, []Control{{Qubit: 0, Neg: true}}},
+		{gateZ, 2, []Control{{Qubit: 0}, {Qubit: 1, Neg: true}}},
+		{gateH, 1, []Control{{Qubit: 0}, {Qubit: 2}}},
+		{gateX, 1, []Control{{Qubit: 0, Neg: true}, {Qubit: 2, Neg: true}}},
+	}
+	for i, c := range cases {
+		want := p.MultMV(p.MakeGateDD(c.u, c.target, c.ctl...), plus)
+		got := p.ApplyGate(plus, c.u, c.target, c.ctl...)
+		if got != want {
+			t.Fatalf("case %d (target=%d ctl=%v): kernel %v != generic %v", i, c.target, c.ctl, got, want)
+		}
+	}
+}
+
+// TestApplyGateCheckedBudget drives the blow-up circuit through the
+// kernel's checked variant: the budget must trip with the standard
+// sentinel and leave the protected operand untouched.
+func TestApplyGateCheckedBudget(t *testing.T) {
+	const n, budget = 10, 200
+	p := New(n)
+	p.SetMaxNodes(budget)
+	state := p.ZeroState()
+	p.IncRefV(state)
+	apply := func(u GateMatrix, target int, ctl ...Control) error {
+		next, err := p.ApplyGateChecked(state, u, target, ctl...)
+		if err != nil {
+			return err
+		}
+		p.IncRefV(next)
+		p.DecRefV(state)
+		state = next
+		return nil
+	}
+	var err error
+	if err = apply(gateH, n-1); err == nil {
+		for q := n - 2; q >= 0 && err == nil; q-- {
+			err = apply(gateX, q, Control{Qubit: q + 1})
+		}
+		for q := 0; q < n && err == nil; q++ {
+			err = apply(gateH, q)
+		}
+		k := 0
+		for i := 0; i < n && err == nil; i++ {
+			for j := i + 1; j < n && err == nil; j++ {
+				k++
+				err = apply(phaseGate(math.Pi/math.Sqrt(float64(k)+1.5)), j, Control{Qubit: i})
+			}
+		}
+	}
+	if err == nil {
+		t.Fatalf("blow-up circuit finished without tripping the %d-node budget", budget)
+	}
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("error %v does not match ErrResourceExhausted", err)
+	}
+	// The operand survived the abort: it still renders to a unit vector.
+	norm := 0.0
+	for _, a := range p.Vector(state) {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("operand corrupted by aborted op: |ψ|² = %v", norm)
+	}
+	// And the package stays usable for small follow-up kernel calls.
+	out, err := p.ApplyGateChecked(p.ZeroState(), gateH, 0)
+	if err != nil || SizeV(out) == 0 {
+		t.Fatalf("small kernel op after abort failed: %v", err)
+	}
+}
+
+// TestApplyGateCheckedMatchesUnchecked: without a budget the checked
+// wrapper is a plain pass-through.
+func TestApplyGateCheckedMatchesUnchecked(t *testing.T) {
+	p := New(4)
+	st := p.MultMV(p.MakeGateDD(gateH, 3), p.ZeroState())
+	a := p.ApplyGate(st, gateX, 1, Control{Qubit: 3})
+	b, err := p.ApplyGateChecked(st, gateX, 1, Control{Qubit: 3})
+	if err != nil {
+		t.Fatalf("checked kernel errored without a budget: %v", err)
+	}
+	if a != b {
+		t.Fatal("checked and unchecked kernel results differ (canonicity violated)")
+	}
+}
+
+// TestApplyGateStatsCounters: the kernel's compute-table traffic shows
+// up in the dedicated Stats fields, and repeated applications hit.
+func TestApplyGateStatsCounters(t *testing.T) {
+	p := New(5)
+	st := p.MultMV(p.MakeGateDD(gateH, 4), p.ZeroState())
+	p.ApplyGate(st, gateX, 0, Control{Qubit: 4})
+	after1 := p.Stats()
+	if after1.ApplyCTLookups == 0 {
+		t.Fatal("kernel recursion recorded no apply-table lookups")
+	}
+	p.ApplyGate(st, gateX, 0, Control{Qubit: 4})
+	after2 := p.Stats()
+	if after2.ApplyCTHits <= after1.ApplyCTHits {
+		t.Fatalf("repeated application did not hit the apply table (hits %d -> %d)",
+			after1.ApplyCTHits, after2.ApplyCTHits)
+	}
+}
+
+// TestMakeGateDDCache: repeated requests for the same gate are served
+// from the per-package cache (same canonical edge, counter moves), and
+// a garbage collection invalidates the cached generation.
+func TestMakeGateDDCache(t *testing.T) {
+	p := New(4)
+	a := p.MakeGateDD(gateX, 1, Control{Qubit: 3, Neg: true})
+	hits0 := p.Stats().GateDDCacheHits
+	b := p.MakeGateDD(gateX, 1, Control{Qubit: 3, Neg: true})
+	if a != b {
+		t.Fatal("cached gate DD differs from the first build")
+	}
+	if p.Stats().GateDDCacheHits != hits0+1 {
+		t.Fatalf("GateDDCacheHits = %d, want %d", p.Stats().GateDDCacheHits, hits0+1)
+	}
+	p.GarbageCollect()
+	c := p.MakeGateDD(gateX, 1, Control{Qubit: 3, Neg: true})
+	if p.Stats().GateDDCacheHits != hits0+1 {
+		t.Fatal("gate-DD cache served a stale post-GC entry")
+	}
+	// The rebuilt diagram is again canonical and cacheable.
+	d := p.MakeGateDD(gateX, 1, Control{Qubit: 3, Neg: true})
+	if c != d {
+		t.Fatal("rebuilt gate DD not served from the refreshed cache")
+	}
+}
+
+// TestApplyGateValidation mirrors MakeGateDD's operand validation.
+func TestApplyGateValidation(t *testing.T) {
+	p := New(3)
+	st := p.ZeroState()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("target out of range", func() { p.ApplyGate(st, gateX, 3) })
+	mustPanic("negative target", func() { p.ApplyGate(st, gateX, -1) })
+	mustPanic("control equals target", func() { p.ApplyGate(st, gateX, 1, Control{Qubit: 1}) })
+	mustPanic("duplicate control", func() {
+		p.ApplyGate(st, gateX, 0, Control{Qubit: 1}, Control{Qubit: 1, Neg: true})
+	})
+	mustPanic("control out of range", func() { p.ApplyGate(st, gateX, 0, Control{Qubit: 7}) })
+}

@@ -54,8 +54,10 @@ func (t *computeTable[K, V]) lookup(h uint64, key K, gen uint64) (res V, ok bool
 	return res, false
 }
 
-// store writes the entry, evicting whatever occupied the slot.
-func (t *computeTable[K, V]) store(h uint64, key K, res V, gen uint64, st *Stats) {
+// store writes the entry, evicting whatever occupied the slot. It
+// reports whether a live entry was displaced, so callers can attribute
+// the eviction to their own per-operation counters as well.
+func (t *computeTable[K, V]) store(h uint64, key K, res V, gen uint64, st *Stats) (evicted bool) {
 	if t.entries == nil {
 		size := ctMinSize
 		if t.cap > 0 && t.cap < size {
@@ -67,6 +69,7 @@ func (t *computeTable[K, V]) store(h uint64, key K, res V, gen uint64, st *Stats
 	e := &t.entries[h&t.mask]
 	if e.gen == gen && e.key != key {
 		st.CTEvictions++
+		evicted = true
 		t.evicted++
 		if len(t.entries) < t.cap && t.evicted > uint64(len(t.entries)) {
 			// Thrashing: double (contents are lossy, dropping them
@@ -81,6 +84,7 @@ func (t *computeTable[K, V]) store(h uint64, key K, res V, gen uint64, st *Stats
 	e.res = res
 	e.gen = gen
 	st.CTStores++
+	return evicted
 }
 
 // setSize reconfigures the maximum capacity, dropping current

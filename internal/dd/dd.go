@@ -137,14 +137,22 @@ type Pkg struct {
 	// Operation caches: fixed-size direct-mapped lossy tables
 	// (compute.go). Entries are invalidated wholesale on garbage
 	// collection by bumping gen; see gc.go.
-	gen       uint64
-	addVCache computeTable[addVKey, VEdge]
-	addMCache computeTable[addMKey, MEdge]
-	mulMV     computeTable[mulMVKey, VEdge]
-	mulMM     computeTable[mulMMKey, MEdge]
-	kronCache computeTable[kronKey, MEdge]
-	conjCache computeTable[*MNode, MEdge]
-	fidCache  computeTable[fidKey, complex128]
+	gen        uint64
+	addVCache  computeTable[addVKey, VEdge]
+	addMCache  computeTable[addMKey, MEdge]
+	mulMV      computeTable[mulMVKey, VEdge]
+	mulMM      computeTable[mulMMKey, MEdge]
+	kronCache  computeTable[kronKey, MEdge]
+	conjCache  computeTable[*MNode, MEdge]
+	fidCache   computeTable[fidKey, complex128]
+	applyCache computeTable[applyVKey, VEdge]
+	applySplit computeTable[applyVKey, vPair]
+
+	// Interned gate applications (applygate.go): canonical
+	// (matrix, target, controls) triples resolve to stable pointers
+	// that key the apply tables and carry the per-generation gate-DD
+	// cache.
+	gateIntern map[gateSig]*appliedGate
 
 	// Roots protected from garbage collection, see IncRef/DecRef.
 	stats Stats
@@ -185,6 +193,15 @@ type Stats struct {
 	UTCollisions   uint64 // unique-table chain entries probed past the head
 	CTStores       uint64 // compute-table stores
 	CTEvictions    uint64 // stores that displaced a live entry
+
+	// Gate-application kernel counters (applygate.go). The apply
+	// tables also feed the aggregate CacheLookups/CacheHits and
+	// CTStores/CTEvictions above; these break out the kernel's share.
+	ApplyCTLookups   uint64 // apply/split compute-table lookups
+	ApplyCTHits      uint64 // apply/split compute-table hits
+	ApplyCTEvictions uint64 // apply/split stores displacing a live entry
+	GatesFused       uint64 // gates eliminated by peephole fusion (AddGatesFused)
+	GateDDCacheHits  uint64 // MakeGateDD calls served from the gate-DD cache
 
 	// Snapshot-time gauges, filled by Stats().
 	UniqueLoadV float64 // vector unique-table load factor (entries/buckets)
@@ -266,6 +283,8 @@ func (p *Pkg) SetComputeTableSize(n int) {
 	p.kronCache.setSize(small)
 	p.conjCache.setSize(small)
 	p.fidCache.setSize(small)
+	p.applyCache.setSize(large)
+	p.applySplit.setSize(small)
 }
 
 // invalidateComputeTables discards all cached operation results in

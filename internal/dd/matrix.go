@@ -1,9 +1,7 @@
 package dd
 
 import (
-	"fmt"
 	"math/cmplx"
-	"sort"
 )
 
 // GateMatrix is a 2×2 unitary in row-major order: [U00, U01, U10, U11].
@@ -31,81 +29,10 @@ func (p *Pkg) identUpTo(v Var) MEdge {
 	return e
 }
 
-// MakeGateDD builds the matrix diagram of a (multi-)controlled
-// single-qubit gate u acting on target, extended to the full register
-// width with identities (the tensor-product extension of Ex. 3/8).
-func (p *Pkg) MakeGateDD(u GateMatrix, target int, controls ...Control) MEdge {
-	if target < 0 || target >= p.nqubits {
-		panic(fmt.Sprintf("dd: gate target %d out of range [0,%d)", target, p.nqubits))
-	}
-	ctrl := make([]Control, len(controls))
-	copy(ctrl, controls)
-	sort.Slice(ctrl, func(i, j int) bool { return ctrl[i].Qubit < ctrl[j].Qubit })
-	for i, c := range ctrl {
-		if c.Qubit < 0 || c.Qubit >= p.nqubits {
-			panic(fmt.Sprintf("dd: control qubit %d out of range [0,%d)", c.Qubit, p.nqubits))
-		}
-		if c.Qubit == target {
-			panic(fmt.Sprintf("dd: control qubit %d equals target", c.Qubit))
-		}
-		if i > 0 && ctrl[i-1].Qubit == c.Qubit {
-			panic(fmt.Sprintf("dd: duplicate control qubit %d", c.Qubit))
-		}
-	}
-	ctrlAt := func(z int) (Control, bool) {
-		i := sort.Search(len(ctrl), func(i int) bool { return ctrl[i].Qubit >= z })
-		if i < len(ctrl) && ctrl[i].Qubit == z {
-			return ctrl[i], true
-		}
-		return Control{}, false
-	}
-
-	// Entry blocks of U as seen from just above the target level,
-	// covering all levels below the target.
-	var em [4]MEdge
-	for i, w := range u {
-		em[i] = MEdge{W: p.cn.Lookup(w), N: mTerminal}
-	}
-	id := MOne() // identity over the levels processed so far
-	for z := 0; z < target; z++ {
-		if c, ok := ctrlAt(z); ok {
-			for i := 0; i < 4; i++ {
-				diag := i == 0 || i == 3
-				inactive := MZero()
-				if diag {
-					inactive = id
-				}
-				if c.Neg {
-					em[i] = p.makeMNode(z, [4]MEdge{em[i], MZero(), MZero(), inactive})
-				} else {
-					em[i] = p.makeMNode(z, [4]MEdge{inactive, MZero(), MZero(), em[i]})
-				}
-			}
-		} else {
-			for i := 0; i < 4; i++ {
-				em[i] = p.makeMNode(z, [4]MEdge{em[i], MZero(), MZero(), em[i]})
-			}
-		}
-		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})
-	}
-
-	e := p.makeMNode(target, em)
-	id = p.makeMNode(target, [4]MEdge{id, MZero(), MZero(), id})
-
-	for z := target + 1; z < p.nqubits; z++ {
-		if c, ok := ctrlAt(z); ok {
-			if c.Neg {
-				e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), id})
-			} else {
-				e = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), e})
-			}
-		} else {
-			e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), e})
-		}
-		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})
-	}
-	return e
-}
+// MakeGateDD (the matrix lowering of a controlled single-qubit gate)
+// lives in applygate.go next to the direct-application kernel: both
+// share the interned gate descriptors, and MakeGateDD caches its
+// result there per package generation.
 
 // MakeSwapDD builds the diagram of a SWAP between qubits a and b
 // (optionally controlled) as the product of three CNOTs — the standard

@@ -33,6 +33,7 @@ const (
 	OpMultMM
 	OpKron
 	OpConjTranspose
+	OpApplyGate
 	OpGC
 	// NumOps bounds Op values for table-indexed collectors.
 	NumOps
@@ -53,6 +54,8 @@ func (o Op) String() string {
 		return "kron"
 	case OpConjTranspose:
 		return "conjt"
+	case OpApplyGate:
+		return "applygate"
 	case OpGC:
 		return "gc"
 	default:

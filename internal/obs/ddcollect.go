@@ -33,6 +33,12 @@ type DDCollector struct {
 	ctEvictions    *Gauge
 	gcRuns         *Gauge
 	gcPauseSeconds *Gauge
+
+	applyLookups   *Gauge
+	applyHits      *Gauge
+	applyEvictions *Gauge
+	gatesFused     *Gauge
+	gateCacheHits  *Gauge
 }
 
 // NewDDCollector registers (or re-binds) the dd metric families on r.
@@ -71,6 +77,16 @@ func NewDDCollector(r *Registry) *DDCollector {
 		"Garbage collections run over live packages.")
 	c.gcPauseSeconds = r.Gauge("dd_gc_pause_seconds_total",
 		"Cumulative wall-clock seconds spent in garbage collection.")
+	c.applyLookups = r.Gauge("dd_apply_table_lookups",
+		"Gate-application kernel compute-table lookups over live packages.")
+	c.applyHits = r.Gauge("dd_apply_table_hits",
+		"Gate-application kernel compute-table hits over live packages.")
+	c.applyEvictions = r.Gauge("dd_apply_table_evictions",
+		"Gate-application kernel stores that displaced a live entry.")
+	c.gatesFused = r.Gauge("dd_gates_fused",
+		"Gates eliminated by peephole fusion before reaching the kernel.")
+	c.gateCacheHits = r.Gauge("dd_gate_cache_hits",
+		"MakeGateDD requests served from the per-package gate-DD cache.")
 	return c
 }
 
@@ -108,6 +124,11 @@ func (c *DDCollector) Record(st dd.Stats) {
 	c.ctEvictions.Set(float64(st.CTEvictions))
 	c.gcRuns.Set(float64(st.GCRuns))
 	c.gcPauseSeconds.Set(float64(st.GCPauseNS) / 1e9)
+	c.applyLookups.Set(float64(st.ApplyCTLookups))
+	c.applyHits.Set(float64(st.ApplyCTHits))
+	c.applyEvictions.Set(float64(st.ApplyCTEvictions))
+	c.gatesFused.Set(float64(st.GatesFused))
+	c.gateCacheHits.Set(float64(st.GateDDCacheHits))
 }
 
 // AddStats accumulates b into a for building fleet-wide aggregates
@@ -129,6 +150,11 @@ func AddStats(a, b dd.Stats) dd.Stats {
 	a.UTCollisions += b.UTCollisions
 	a.CTStores += b.CTStores
 	a.CTEvictions += b.CTEvictions
+	a.ApplyCTLookups += b.ApplyCTLookups
+	a.ApplyCTHits += b.ApplyCTHits
+	a.ApplyCTEvictions += b.ApplyCTEvictions
+	a.GatesFused += b.GatesFused
+	a.GateDDCacheHits += b.GateDDCacheHits
 	a.UniqueLoadV += b.UniqueLoadV
 	a.UniqueLoadM += b.UniqueLoadM
 	a.FreeNodesV += b.FreeNodesV

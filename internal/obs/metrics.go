@@ -164,9 +164,9 @@ type series struct {
 
 // family groups the series sharing one metric name.
 type family struct {
-	name string
-	help string
-	kind metricKind
+	name    string
+	help    string
+	kind    metricKind
 	ordered []*series
 	byLabel map[string]*series
 }

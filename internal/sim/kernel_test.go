@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+)
+
+// randUnitaryCircuit builds a random measurement-free circuit mixing
+// Clifford+T gates, controlled rotations (multi-controlled, positive
+// and negative polarity) and Swaps — the gate families the kernel and
+// the generic path must agree on.
+func randUnitaryCircuit(rng *rand.Rand, n, ops int) *qc.Circuit {
+	c := qc.New(n, 0)
+	single := []qc.Gate{qc.X, qc.Y, qc.Z, qc.H, qc.S, qc.Sdg, qc.T, qc.Tdg}
+	rot := []qc.Gate{qc.RX, qc.RY, qc.RZ, qc.P}
+	for len(c.Ops) < ops {
+		switch rng.Intn(4) {
+		case 0: // plain Clifford+T
+			c.Gate(single[rng.Intn(len(single))], nil, rng.Intn(n))
+		case 1: // parameterized rotation
+			c.Gate(rot[rng.Intn(len(rot))], []float64{rng.Float64() * 2 * math.Pi}, rng.Intn(n))
+		case 2: // controlled gate (1–2 controls, mixed polarity)
+			if n < 2 {
+				continue
+			}
+			perm := rng.Perm(n)
+			target := perm[0]
+			k := 1 + rng.Intn(2)
+			if k > n-1 {
+				k = n - 1
+			}
+			ctl := make([]qc.Control, k)
+			for i := 0; i < k; i++ {
+				ctl[i] = qc.Control{Qubit: perm[1+i], Neg: rng.Intn(2) == 1}
+			}
+			g := rot[rng.Intn(len(rot))]
+			c.Gate(g, []float64{rng.Float64() * 2 * math.Pi}, target, ctl...)
+		default: // Swap exercises the generic fallback inside the kernel path
+			if n < 2 {
+				continue
+			}
+			perm := rng.Perm(n)
+			c.SwapGate(perm[0], perm[1])
+		}
+	}
+	return c
+}
+
+// TestKernelMatchesGenericRandomCircuits runs random circuits once
+// through the ApplyGate kernel and once through the generic
+// MakeGateDD+MultMV oracle and requires identical final amplitudes.
+func TestKernelMatchesGenericRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 10; n++ {
+		for trial := 0; trial < 3; trial++ {
+			circ := randUnitaryCircuit(rng, n, 20)
+			fast := New(circ)
+			if _, err := fast.RunToEnd(); err != nil {
+				t.Fatalf("n=%d trial=%d kernel run: %v", n, trial, err)
+			}
+			slow := New(circ, WithGenericApply())
+			if _, err := slow.RunToEnd(); err != nil {
+				t.Fatalf("n=%d trial=%d generic run: %v", n, trial, err)
+			}
+			a, b := fast.Amplitudes(), slow.Amplitudes()
+			for i := range a {
+				if d := a[i] - b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+					t.Fatalf("n=%d trial=%d amplitude %d differs: kernel %v generic %v", n, trial, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// fusionCircuit has two runs of adjacent single-qubit gates on the
+// same target separated by an entangling gate — the shape the peephole
+// pass must fold without changing semantics.
+func fusionCircuit() *qc.Circuit {
+	c := qc.New(3, 0)
+	c.H(0)
+	c.Gate(qc.RY, []float64{0.7}, 2)
+	c.Gate(qc.RZ, []float64{1.1}, 2)
+	c.T(2)
+	c.CX(0, 1)
+	c.Gate(qc.RX, []float64{0.3}, 1)
+	c.H(1)
+	c.Z(2)
+	return c
+}
+
+// TestFusionPreservesState: with fusion on, the final state matches
+// the unfused run exactly and the package counts the folded gates.
+func TestFusionPreservesState(t *testing.T) {
+	circ := fusionCircuit()
+	plain := New(circ)
+	if _, err := plain.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	fused := New(circ, WithFusion())
+	events, err := fused.RunToEnd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.Amplitudes(), fused.Amplitudes()
+	for i := range a {
+		if d := a[i] - b[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("amplitude %d differs with fusion: %v vs %v", i, a[i], b[i])
+		}
+	}
+	st := fused.Pkg().Stats()
+	if st.GatesFused == 0 {
+		t.Fatal("fusion enabled but GatesFused stayed zero")
+	}
+	totalFused := 0
+	for _, ev := range events {
+		totalFused += ev.Fused
+	}
+	if uint64(totalFused) != st.GatesFused {
+		t.Fatalf("events report %d fused gates, stats %d", totalFused, st.GatesFused)
+	}
+	// The q2 run (ry, rz, t) folds into one step: 8 ops, 3 saved.
+	if st.GatesFused != 3 {
+		t.Fatalf("GatesFused = %d, want 3 (ry+rz+t run and rx+h run)", st.GatesFused)
+	}
+}
+
+// TestFusionStepSemantics: a fused run advances Pos past the whole run
+// in one StepForward and StepBackward rewinds it atomically.
+func TestFusionStepSemantics(t *testing.T) {
+	circ := fusionCircuit()
+	s := New(circ, WithFusion())
+	ev, err := s.StepForward() // h q0 — no fusable successor on q0
+	if err != nil || ev.Fused != 0 || s.Pos() != 1 {
+		t.Fatalf("step 1: err=%v fused=%d pos=%d", err, ev.Fused, s.Pos())
+	}
+	before := s.Amplitudes()
+	ev, err = s.StepForward() // ry,rz,t on q2 fold into one step
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Fused != 2 || s.Pos() != 4 {
+		t.Fatalf("fused step: fused=%d pos=%d, want 2 and 4", ev.Fused, s.Pos())
+	}
+	if !s.StepBackward() {
+		t.Fatal("StepBackward failed")
+	}
+	if s.Pos() != 1 {
+		t.Fatalf("backward over fused run left pos=%d, want 1", s.Pos())
+	}
+	after := s.Amplitudes()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("amplitude %d not restored: %v vs %v", i, before[i], after[i])
+		}
+	}
+	// Stepping forward again replays the fused run identically.
+	ev, err = s.StepForward()
+	if err != nil || ev.Fused != 2 || s.Pos() != 4 {
+		t.Fatalf("replayed fused step: err=%v fused=%d pos=%d", err, ev.Fused, s.Pos())
+	}
+}
+
+// TestNoiseRespectsBudget is the regression test for the unchecked
+// MultMV that used to sit on the noise-injection path: an injected
+// error on a state already at the SetMaxNodes cap must surface
+// dd.ErrResourceExhausted instead of silently growing the tables.
+func TestNoiseRespectsBudget(t *testing.T) {
+	// Build a state of nontrivial size without any budget…
+	circ := algorithms.QFTCompiled(8)
+	s := New(circ)
+	if _, err := s.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	// …then arm a budget below the live table size: the injection path
+	// must refuse, exactly like a circuit gate would.
+	s.Pkg().SetMaxNodes(2)
+	err := s.injectGate(qc.H, 0)
+	if err == nil {
+		t.Fatal("injectGate ignored the node budget")
+	}
+	if !errors.Is(err, dd.ErrResourceExhausted) {
+		t.Fatalf("injectGate error %v does not match dd.ErrResourceExhausted", err)
+	}
+}
+
+// TestRunNoisyPropagatesBudget: the trajectory driver surfaces a
+// budget exhaustion from inside a noisy run as an error.
+func TestRunNoisyPropagatesBudget(t *testing.T) {
+	circ := algorithms.QFTCompiled(8)
+	_, err := RunNoisy(circ, NoiseModel{Depolarizing: 1}, 3, 11, WithMaxNodes(8))
+	if err == nil {
+		t.Fatal("RunNoisy finished under an impossible node budget")
+	}
+	if !errors.Is(err, dd.ErrResourceExhausted) {
+		t.Fatalf("RunNoisy error %v does not match dd.ErrResourceExhausted", err)
+	}
+}
+
+// TestRunNoisyKernelMatchesGeneric: identical seeds must yield
+// identical trajectory ensembles on both gate-application paths (the
+// sampled Pauli sequence only depends on the rng, and each pure-state
+// trajectory is canonical).
+func TestRunNoisyKernelMatchesGeneric(t *testing.T) {
+	circ := algorithms.GHZ(4)
+	a, err := RunNoisy(circ, NoiseModel{Depolarizing: 0.05, BitFlip: 0.02}, 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNoisy(circ, NoiseModel{Depolarizing: 0.05, BitFlip: 0.02}, 200, 13, WithGenericApply())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ErrorEvents != b.ErrorEvents {
+		t.Fatalf("error events differ: kernel %d generic %d", a.ErrorEvents, b.ErrorEvents)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatalf("count maps differ: %v vs %v", a.Counts, b.Counts)
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("counts for %b differ: kernel %d generic %d", k, v, b.Counts[k])
+		}
+	}
+}

@@ -56,8 +56,10 @@ type NoisyResult struct {
 
 // RunNoisy simulates the circuit trajectories times under the noise
 // model and aggregates end-of-circuit samples. Measurements inside the
-// circuit are sampled per trajectory (no dialogs).
-func RunNoisy(circ *qc.Circuit, model NoiseModel, trajectories int, seed int64) (*NoisyResult, error) {
+// circuit are sampled per trajectory (no dialogs). Extra options apply
+// to every trajectory simulator (e.g. WithMaxNodes); fusion is forced
+// off because errors are injected per original gate op.
+func RunNoisy(circ *qc.Circuit, model NoiseModel, trajectories int, seed int64, opts ...Option) (*NoisyResult, error) {
 	if err := model.validate(); err != nil {
 		return nil, err
 	}
@@ -68,7 +70,8 @@ func RunNoisy(circ *qc.Circuit, model NoiseModel, trajectories int, seed int64) 
 	res := &NoisyResult{Trajectories: trajectories, Counts: make(map[int64]int)}
 	totalNodes := 0
 	for tr := 0; tr < trajectories; tr++ {
-		s := New(circ, WithSeed(rng.Int63()))
+		s := New(circ, append([]Option{WithSeed(rng.Int63())}, opts...)...)
+		s.fusion = false
 		for !s.AtEnd() {
 			op := &circ.Ops[s.Pos()]
 			if _, err := s.StepForward(); err != nil {
@@ -120,9 +123,21 @@ func samplePauli(rng *rand.Rand, m NoiseModel) qc.Gate {
 
 // injectGate applies a gate to the current state without recording it
 // in the step history (errors are not user operations; stepping
-// backward replays the trajectory without them).
+// backward replays the trajectory without them). It goes through the
+// checked paths so an injected error respects the same SetMaxNodes
+// budget as the circuit's own gates.
 func (s *Simulator) injectGate(g qc.Gate, q int) error {
-	m := s.pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(g, nil)), q)
-	s.setState(s.pkg.MultMV(m, s.state))
+	var next dd.VEdge
+	var err error
+	if s.generic {
+		m := s.pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(g, nil)), q)
+		next, err = s.pkg.MultMVChecked(m, s.state)
+	} else {
+		next, err = s.pkg.ApplyGateChecked(s.state, dd.GateMatrix(qc.Matrix2(g, nil)), q)
+	}
+	if err != nil {
+		return err
+	}
+	s.setState(next)
 	return nil
 }

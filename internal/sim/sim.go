@@ -32,9 +32,10 @@ const (
 type Event struct {
 	Kind    EventKind
 	OpIndex int     // index of the executed op
-	Op      *qc.Op  // the executed op (nil for EventEnd)
+	Op      *qc.Op  // the executed op (nil for EventEnd; first op of a fused run)
 	Outcome int     // measurement/reset outcome (pre-reset value)
 	P0, P1  float64 // branch probabilities shown in the dialog
+	Fused   int     // additional ops folded into this gate event by peephole fusion
 }
 
 // OutcomeChooser decides measurement (and pre-reset) outcomes when a
@@ -68,12 +69,21 @@ type Simulator struct {
 	approxThreshold float64
 	approxFidelity  float64
 
+	// generic routes gates through MakeGateDD+MultMV instead of the
+	// ApplyGate kernel — the differential-test oracle path.
+	generic bool
+
+	// fusion enables peephole folding of adjacent single-qubit gate
+	// runs on the same target into one 2×2 matrix per step.
+	fusion bool
+
 	peakNodes int // largest state diagram observed
 }
 
 type snapshot struct {
 	state     dd.VEdge
 	classical []int
+	span      int // circuit ops covered by this snapshot (>1 for fused runs)
 }
 
 // Option configures a Simulator.
@@ -96,6 +106,25 @@ func WithChooser(c OutcomeChooser) Option {
 // is available via ApproxFidelity. Threshold must be in [0, 1).
 func WithApproximation(threshold float64) Option {
 	return func(s *Simulator) { s.approxThreshold = threshold }
+}
+
+// WithGenericApply routes every gate through the generic
+// MakeGateDD+MultMV path instead of the specialized ApplyGate kernel.
+// The two are equivalent; the generic path serves as the oracle in
+// differential tests and as an escape hatch. It disables fusion.
+func WithGenericApply() Option {
+	return func(s *Simulator) { s.generic = true }
+}
+
+// WithFusion enables peephole gate fusion: a run of adjacent
+// uncontrolled, unconditional single-qubit gates on the same target is
+// folded into one 2×2 matrix and applied in a single kernel call. A
+// fused run executes as one step — StepForward consumes the whole run
+// (Event.Fused reports the extra ops) and StepBackward rewinds it
+// atomically, so fusion is off by default to keep the op-by-op
+// stepping of the interactive tool.
+func WithFusion() Option {
+	return func(s *Simulator) { s.fusion = true }
 }
 
 // WithMaxNodes caps the decision-diagram unique tables at n live
@@ -196,7 +225,7 @@ func (s *Simulator) StepForward() (Event, error) {
 	}
 	op := &s.circ.Ops[s.pos]
 	// Snapshot for backward stepping.
-	snap := snapshot{state: s.state, classical: append([]int(nil), s.classical...)}
+	snap := snapshot{state: s.state, classical: append([]int(nil), s.classical...), span: 1}
 	s.pkg.IncRefV(snap.state)
 	ev := Event{OpIndex: s.pos, Op: op}
 	switch op.Kind {
@@ -233,7 +262,14 @@ func (s *Simulator) StepForward() (Event, error) {
 			ev.Kind = EventCondSkip
 			break
 		}
-		next, err := s.applyGate(op)
+		run := s.fusionRun(op)
+		var next dd.VEdge
+		var err error
+		if run > 1 {
+			next, err = s.applyFused(run)
+		} else {
+			next, err = s.applyGate(op)
+		}
 		if err != nil {
 			s.pkg.DecRefV(snap.state)
 			return Event{}, err
@@ -244,6 +280,8 @@ func (s *Simulator) StepForward() (Event, error) {
 			next = approx
 		}
 		s.setState(next)
+		snap.span = run
+		ev.Fused = run - 1
 		if op.Cond != nil {
 			ev.Kind = EventCondApply
 		} else {
@@ -254,7 +292,7 @@ func (s *Simulator) StepForward() (Event, error) {
 		return Event{}, fmt.Errorf("sim: unknown op kind %d", op.Kind)
 	}
 	s.history = append(s.history, snap)
-	s.pos++
+	s.pos += snap.span
 	return ev, nil
 }
 
@@ -296,12 +334,72 @@ func (s *Simulator) condHolds(c *qc.Condition) bool {
 	return v == c.Value
 }
 
+// applyGate applies one gate op under the node budget. Single-target
+// gates go through the specialized ApplyGate kernel; Swap (a genuine
+// two-target op) and the generic-oracle mode fall back to building the
+// matrix diagram and the generic multiply.
 func (s *Simulator) applyGate(op *qc.Op) (dd.VEdge, error) {
-	g, err := s.gateDD(op)
+	if s.generic || op.Gate == qc.Swap {
+		g, err := s.gateDD(op)
+		if err != nil {
+			return dd.VZero(), err
+		}
+		return s.pkg.MultMVChecked(g, s.state)
+	}
+	ctl := make([]dd.Control, len(op.Controls))
+	for i, c := range op.Controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	return s.pkg.ApplyGateChecked(s.state, dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ctl...)
+}
+
+// fusable reports whether an op may join a peephole fusion run: an
+// unconditional, uncontrolled single-qubit unitary.
+func fusable(op *qc.Op) bool {
+	return op.Kind == qc.KindGate && op.Cond == nil && len(op.Controls) == 0 &&
+		op.Gate != qc.Swap && len(op.Targets) == 1
+}
+
+// fusionRun returns how many ops starting at the current position fold
+// into one kernel call (1 when fusion is off or the run is trivial).
+func (s *Simulator) fusionRun(op *qc.Op) int {
+	if !s.fusion || s.generic || !fusable(op) {
+		return 1
+	}
+	run := 1
+	for s.pos+run < len(s.circ.Ops) {
+		next := &s.circ.Ops[s.pos+run]
+		if !fusable(next) || next.Targets[0] != op.Targets[0] {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// applyFused multiplies the run's 2×2 matrices (later gates on the
+// left) and applies the product in one kernel call.
+func (s *Simulator) applyFused(run int) (dd.VEdge, error) {
+	first := &s.circ.Ops[s.pos]
+	m := qc.Matrix2(first.Gate, first.Params)
+	for i := 1; i < run; i++ {
+		op := &s.circ.Ops[s.pos+i]
+		m = mul2(qc.Matrix2(op.Gate, op.Params), m)
+	}
+	next, err := s.pkg.ApplyGateChecked(s.state, dd.GateMatrix(m), first.Targets[0])
 	if err != nil {
 		return dd.VZero(), err
 	}
-	return s.pkg.MultMVChecked(g, s.state)
+	s.pkg.AddGatesFused(run - 1)
+	return next, nil
+}
+
+// mul2 returns the 2×2 matrix product a·b (row-major).
+func mul2(a, b [4]complex128) [4]complex128 {
+	return [4]complex128{
+		a[0]*b[0] + a[1]*b[2], a[0]*b[1] + a[1]*b[3],
+		a[2]*b[0] + a[3]*b[2], a[2]*b[1] + a[3]*b[3],
+	}
 }
 
 func (s *Simulator) gateDD(op *qc.Op) (dd.MEdge, error) {
@@ -327,7 +425,7 @@ func (s *Simulator) StepBackward() bool {
 	s.pkg.DecRefV(s.state)
 	s.state = snap.state // snapshot already holds a reference
 	s.classical = snap.classical
-	s.pos--
+	s.pos -= snap.span // a fused run rewinds atomically
 	return true
 }
 

@@ -30,15 +30,15 @@ type serverMetrics struct {
 	panics      *obs.Counter
 
 	// Session lifecycle.
-	simsActive     *obs.Gauge
-	verifiesActive *obs.Gauge
-	simsTombs      *obs.Gauge
-	verifiesTombs  *obs.Gauge
-	simsCreated    *obs.Counter
+	simsActive      *obs.Gauge
+	verifiesActive  *obs.Gauge
+	simsTombs       *obs.Gauge
+	verifiesTombs   *obs.Gauge
+	simsCreated     *obs.Counter
 	verifiesCreated *obs.Counter
-	evictedLRU     *obs.Counter
-	evictedTTL     *obs.Counter
-	reaperSweeps   *obs.Counter
+	evictedLRU      *obs.Counter
+	evictedTTL      *obs.Counter
+	reaperSweeps    *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {

@@ -100,7 +100,10 @@ func TestMetricsEndpointAfterScriptedSession(t *testing.T) {
 	for _, series := range []string{
 		`sessions_active{kind="sim"} 1`,
 		`sessions_created_total{kind="sim"} 1`,
-		`dd_op_duration_seconds_count{op="multmv"}`,
+		`dd_op_duration_seconds_count{op="applygate"}`,
+		`dd_apply_table_lookups`,
+		`dd_gates_fused`,
+		`dd_gate_cache_hits`,
 		`dd_compute_table_hit_ratio`,
 		`dd_nodes_live`,
 		`http_requests_total{code="2xx"} 2`,
@@ -110,10 +113,11 @@ func TestMetricsEndpointAfterScriptedSession(t *testing.T) {
 		}
 	}
 
-	// The engine actually traced work: the multmv histogram saw at
-	// least one top-level operation during the fast-forward.
-	if strings.Contains(body, `dd_op_duration_seconds_count{op="multmv"} 0`) {
-		t.Error("multmv histogram recorded no operations after a full run")
+	// The engine actually traced work: gate applications now run
+	// through the specialized kernel, so its histogram saw at least one
+	// top-level operation during the fast-forward.
+	if strings.Contains(body, `dd_op_duration_seconds_count{op="applygate"} 0`) {
+		t.Error("applygate histogram recorded no operations after a full run")
 	}
 	// Live-node gauge reflects the session's published snapshot.
 	if strings.Contains(body, "\ndd_nodes_live 0\n") {

@@ -420,6 +420,12 @@ type EngineStats struct {
 	Recycled     uint64  `json:"recycled"`
 	FreeNodes    int     `json:"freeNodes"`
 	GCRuns       uint64  `json:"gcRuns"`
+	// Gate-application kernel counters (PR 4).
+	ApplyLookups    uint64 `json:"applyLookups"`
+	ApplyHits       uint64 `json:"applyHits"`
+	ApplyEvictions  uint64 `json:"applyEvictions"`
+	GatesFused      uint64 `json:"gatesFused"`
+	GateDDCacheHits uint64 `json:"gateDDCacheHits"`
 }
 
 func engineStats(p *dd.Pkg) *EngineStats {
@@ -434,6 +440,12 @@ func engineStats(p *dd.Pkg) *EngineStats {
 		Recycled:     st.NodesRecycledV + st.NodesRecycledM,
 		FreeNodes:    st.FreeNodesV + st.FreeNodesM,
 		GCRuns:       st.GCRuns,
+
+		ApplyLookups:    st.ApplyCTLookups,
+		ApplyHits:       st.ApplyCTHits,
+		ApplyEvictions:  st.ApplyCTEvictions,
+		GatesFused:      st.GatesFused,
+		GateDDCacheHits: st.GateDDCacheHits,
 	}
 }
 
