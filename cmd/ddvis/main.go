@@ -14,12 +14,13 @@
 //	      [-max-qubits 24] [-max-ops 4096]
 //	      [-max-nodes 250000] [-max-body-bytes 1048576]
 //	      [-session-ttl 30m] [-max-sessions 256] [-request-timeout 15s]
+//	      [-trace-spans 1024]
 //
 // When -admin-addr is set, a second listener serves the operational
-// endpoints (/healthz, /metrics, /debug/vars, /debug/pprof/…) so
-// profiling never rides on the public port; bind it to localhost or a
-// cluster-internal interface. /metrics is also served on the public
-// listener either way.
+// endpoints (/healthz, /metrics, /debug/vars, /debug/pprof/…, and the
+// one-shot /debug/bundle tar.gz) so profiling never rides on the
+// public port; bind it to localhost or a cluster-internal interface.
+// /metrics is also served on the public listener either way.
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", def.SessionTTL, "evict sessions idle longer than this (0 = never)")
 	maxSessions := flag.Int("max-sessions", def.MaxSessions, "LRU cap on live sessions per kind (0 = unlimited)")
 	reqTimeout := flag.Duration("request-timeout", def.RequestTimeout, "per-request deadline, bounds fast-forward loops (0 = none)")
+	traceSpans := flag.Int("trace-spans", def.TraceSpans, "per-session flight-recorder capacity in spans (0 = default, negative = disable tracing)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -64,6 +66,7 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *reqTimeout,
+		TraceSpans:     *traceSpans,
 		Logger:         logger,
 	})
 	defer srv.Close()
@@ -91,9 +94,13 @@ func main() {
 
 	var admin *http.Server
 	if *adminAddr != "" {
+		adminMux := obs.AdminMuxWith(srv.MetricsHandler())
+		// The debug bundle blocks for its CPU-profile window, so it
+		// lives on the admin listener only, next to pprof.
+		adminMux.Handle("GET /debug/bundle", srv.BundleHandler())
 		admin = &http.Server{
 			Addr:              *adminAddr,
-			Handler:           obs.AdminMuxWith(srv.MetricsHandler()),
+			Handler:           adminMux,
 			ReadHeaderTimeout: 5 * time.Second,
 			IdleTimeout:       2 * time.Minute,
 		}

@@ -15,6 +15,7 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "", "run only the experiment with this ID (e.g. E6)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engines after the run")
+	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -24,6 +25,14 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 		// dump carries the op-latency histograms of the whole run.
 		md := newMetricsDumper()
 		defer md.dump(stdout)
+	}
+	if *traceOut != "" {
+		// Experiments don't thread a context, so the timeline is the
+		// root span with every engine operation as a direct child —
+		// still enough to see where a regenerated experiment spends
+		// its time, op by op.
+		to := newTraceOutput(*traceOut, "ddbench")
+		defer to.finish(stderr)
 	}
 	if *list {
 		for _, e := range bench.All() {

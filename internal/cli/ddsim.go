@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 	noise := fs.Float64("noise", 0, "depolarizing noise probability per gate operand (enables trajectory mode)")
 	trajectories := fs.Int("trajectories", 1000, "Monte-Carlo trajectories in noise mode")
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engine after the run")
+	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,10 +55,17 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 		md = newMetricsDumper()
 		defer md.dump(stdout)
 	}
+	// After the dumper: finish() runs first on exit (LIFO), restoring
+	// the dumper's tracer before the dump detaches it.
+	var to *traceOutput
+	if *traceOut != "" {
+		to = newTraceOutput(*traceOut, "ddsim")
+		defer to.finish(stderr)
+	}
 	if *noise > 0 {
 		return runDdsimNoisy(circ, *noise, *trajectories, *seed, stdout, stderr)
 	}
-	return runDdsimOn(circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, md, stdout, stderr)
+	return runDdsimOn(to.context(), circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, md, stdout, stderr)
 }
 
 // runDdsimNoisy aggregates Monte-Carlo trajectories under depolarizing
@@ -95,7 +104,7 @@ func runDdsimNoisy(circ *qc.Circuit, p float64, trajectories int, seed int64, st
 	return 0
 }
 
-func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stats, draw bool, md *metricsDumper, stdout, stderr io.Writer) int {
+func runDdsimOn(ctx context.Context, circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stats, draw bool, md *metricsDumper, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "circuit: %d qubits, %d classical bits, %d operations (%d gates)\n",
 		circ.NQubits, circ.NClbits, len(circ.Ops), circ.NumGates())
 
@@ -104,7 +113,7 @@ func runDdsimOn(circ *qc.Circuit, seed int64, shots int, amplitudes, trace, stat
 		defer func() { md.record(s.Pkg().Stats()) }()
 	}
 	for !s.AtEnd() {
-		ev, err := s.StepForward()
+		ev, err := s.StepForwardCtx(ctx)
 		if err != nil {
 			fmt.Fprintln(stderr, "ddsim:", err)
 			return 1

@@ -27,6 +27,7 @@ func RunDdverify(args []string, stdout, stderr io.Writer) int {
 	diagnose := fs.Bool("diagnose", false, "on non-equivalence, print a counterexample and the HS overlap")
 	format := fs.String("format", "", "input format: qasm, real, or auto")
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engine after the run")
+	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,17 +61,22 @@ func RunDdverify(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "G : %s (%d qubits, %d gates)\n", fs.Arg(0), left.NQubits, left.NumGates())
 	fmt.Fprintf(stdout, "G': %s (%d qubits, %d gates)\n", fs.Arg(1), right.NQubits, right.NumGates())
-	var res *verify.Result
+	var md *metricsDumper
 	if *metricsDump {
-		// Own the engine so its final statistics land in the dump
-		// alongside the op-latency histograms the tracer collects.
-		md := newMetricsDumper()
-		p := dd.New(left.NQubits)
-		res, err = verify.CheckOn(p, left, right, strategy)
-		md.record(p.Stats())
+		md = newMetricsDumper()
 		defer md.dump(stdout)
-	} else {
-		res, err = verify.Check(left, right, strategy)
+	}
+	var to *traceOutput
+	if *traceOut != "" {
+		to = newTraceOutput(*traceOut, "ddverify")
+		defer to.finish(stderr)
+	}
+	// Own the engine so its final statistics land in the dump
+	// alongside the op-latency histograms the tracer collects.
+	p := dd.New(left.NQubits)
+	res, err := verify.CheckOnCtx(to.context(), p, left, right, strategy)
+	if md != nil {
+		md.record(p.Stats())
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "ddverify:", err)

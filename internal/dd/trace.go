@@ -85,6 +85,12 @@ func loadDefaultTracer() TraceFunc {
 	return nil
 }
 
+// DefaultTracer returns the currently installed process-wide tracer
+// (nil when none) — callers chaining an additional observer (e.g. the
+// -trace-out flight recorder next to -metrics-dump) read the existing
+// hook through this and install a tee.
+func DefaultTracer() TraceFunc { return loadDefaultTracer() }
+
 // SetTracer installs (or, with nil, removes) the tracer of this
 // package, overriding any default tracer it inherited. Installing a
 // tracer publishes an initial stats snapshot.

@@ -1,0 +1,123 @@
+package obs
+
+// One-shot debug bundles: a single tar.gz capturing everything a
+// production triage needs — metrics exposition, goroutine/heap/CPU
+// profiles, build information, effective flag values, and (added by
+// the web server) every live session's flight-recorder timeline — so
+// "attach a debugger" becomes "curl one URL and open the archive".
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+)
+
+// BundleMember is one file inside a debug bundle. Fill writes the
+// member's content; a Fill error does not abort the bundle — the
+// member is replaced by <name>.error.txt describing what went wrong,
+// because a half-broken process is exactly when a bundle matters.
+type BundleMember struct {
+	Name string
+	Fill func(w io.Writer) error
+}
+
+// WriteBundle writes the members as a tar.gz archive.
+func WriteBundle(w io.Writer, members []BundleMember) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now()
+	for _, m := range members {
+		var buf bytes.Buffer
+		name := m.Name
+		if err := m.Fill(&buf); err != nil {
+			name = m.Name + ".error.txt"
+			buf.Reset()
+			fmt.Fprintf(&buf, "collecting %s failed: %v\n", m.Name, err)
+		}
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(buf.Len()),
+			ModTime: now,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if _, err := tw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// StandardBundleMembers returns the process-level bundle content:
+//
+//	metrics.prom    Prometheus exposition of r
+//	buildinfo.txt   module/VCS build info, Go version, GOOS/GOARCH
+//	flags.txt       every registered flag with its effective value
+//	goroutines.txt  full goroutine dump (pprof debug=2)
+//	heap.pprof      heap profile (pprof binary format)
+//	cpu.pprof       CPU profile over cpu (omitted when cpu <= 0)
+//
+// The CPU member blocks for the profiling window, so handlers pass
+// the duration through from a bounded query parameter.
+func StandardBundleMembers(r *Registry, cpu time.Duration) []BundleMember {
+	members := []BundleMember{
+		{Name: "metrics.prom", Fill: r.WritePrometheus},
+		{Name: "buildinfo.txt", Fill: writeBuildInfo},
+		{Name: "flags.txt", Fill: writeFlags},
+		{Name: "goroutines.txt", Fill: func(w io.Writer) error {
+			return pprof.Lookup("goroutine").WriteTo(w, 2)
+		}},
+		{Name: "heap.pprof", Fill: func(w io.Writer) error {
+			return pprof.Lookup("heap").WriteTo(w, 0)
+		}},
+	}
+	if cpu > 0 {
+		members = append(members, BundleMember{Name: "cpu.pprof", Fill: func(w io.Writer) error {
+			if err := pprof.StartCPUProfile(w); err != nil {
+				return err
+			}
+			time.Sleep(cpu)
+			pprof.StopCPUProfile()
+			return nil
+		}})
+	}
+	return members
+}
+
+func writeBuildInfo(w io.Writer) error {
+	fmt.Fprintf(w, "go: %s\nos/arch: %s/%s\ncpus: %d\ngoroutines: %d\ncaptured: %s\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH,
+		runtime.NumCPU(), runtime.NumGoroutine(), time.Now().Format(time.RFC3339))
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		fmt.Fprintf(w, "\n%s", bi.String())
+	}
+	return nil
+}
+
+// writeFlags dumps every registered flag with its effective value,
+// marking the ones explicitly set on the command line — the "what
+// configuration is this process actually running with" record.
+func writeFlags(w io.Writer) error {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	flag.VisitAll(func(f *flag.Flag) {
+		origin := "default"
+		if set[f.Name] {
+			origin = "set"
+		}
+		fmt.Fprintf(w, "-%s=%s (%s)\n", f.Name, f.Value.String(), origin)
+	})
+	return nil
+}

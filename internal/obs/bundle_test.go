@@ -1,0 +1,100 @@
+package obs_test
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"quantumdd/internal/obs"
+)
+
+// readBundle decompresses a bundle into member-name → content.
+func readBundle(t *testing.T, data []byte) map[string]string {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	members := map[string]string{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar read: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("tar member %s: %v", hdr.Name, err)
+		}
+		members[hdr.Name] = string(body)
+	}
+	return members
+}
+
+func TestStandardBundleMembers(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("bundle_test_total", "A counter to find in the exposition.").Inc()
+
+	var buf bytes.Buffer
+	// cpu=0 omits the CPU profile so the test doesn't block sampling.
+	if err := obs.WriteBundle(&buf, obs.StandardBundleMembers(reg, 0)); err != nil {
+		t.Fatal(err)
+	}
+	members := readBundle(t, buf.Bytes())
+	for _, want := range []string{"metrics.prom", "buildinfo.txt", "flags.txt", "goroutines.txt", "heap.pprof"} {
+		if _, ok := members[want]; !ok {
+			t.Errorf("bundle lacks member %s (has %v)", want, keys(members))
+		}
+	}
+	if _, ok := members["cpu.pprof"]; ok {
+		t.Error("cpu.pprof present despite cpu=0")
+	}
+	if !strings.Contains(members["metrics.prom"], "bundle_test_total 1") {
+		t.Error("metrics.prom does not carry the registry exposition")
+	}
+	if !strings.Contains(members["buildinfo.txt"], "go: go") {
+		t.Error("buildinfo.txt lacks the Go version")
+	}
+	if !strings.Contains(members["goroutines.txt"], "goroutine") {
+		t.Error("goroutines.txt lacks a goroutine dump")
+	}
+}
+
+// TestWriteBundleFillError pins the degraded-member contract: a
+// failing Fill yields <name>.error.txt instead of aborting the whole
+// archive.
+func TestWriteBundleFillError(t *testing.T) {
+	var buf bytes.Buffer
+	err := obs.WriteBundle(&buf, []obs.BundleMember{
+		{Name: "good.txt", Fill: func(w io.Writer) error { _, err := w.Write([]byte("fine\n")); return err }},
+		{Name: "bad.txt", Fill: func(w io.Writer) error { return errors.New("boom") }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := readBundle(t, buf.Bytes())
+	if members["good.txt"] != "fine\n" {
+		t.Errorf("good.txt = %q", members["good.txt"])
+	}
+	if !strings.Contains(members["bad.txt.error.txt"], "boom") {
+		t.Errorf("bad.txt.error.txt missing or wrong: %v", keys(members))
+	}
+	if _, ok := members["bad.txt"]; ok {
+		t.Error("failed member must not appear under its own name")
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

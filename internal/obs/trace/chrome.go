@@ -1,0 +1,111 @@
+package trace
+
+// Chrome trace-event export. The trace-event format (the JSON the
+// chrome://tracing viewer and https://ui.perfetto.dev load directly)
+// keeps the tool installation-free: an operator downloads a session's
+// timeline and drops it into a browser tab, no tooling required.
+//
+// Mapping: each session becomes one process track (pid = session
+// index, with a process_name metadata record carrying the session
+// id), all spans of a session share tid 1, and every span is a
+// complete ("X") event whose nesting the viewer reconstructs from
+// containment of [ts, ts+dur) on the track. Span attributes, the span
+// id and the parent id ride in args, so the exact tree is recoverable
+// even where timestamps tie. Timestamps are fractional microseconds
+// (both viewers accept fractions), preserving the sub-microsecond DD
+// operations the latency histograms resolve.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// SessionTrace is one session's exported timeline.
+type SessionTrace struct {
+	Name    string // track label, e.g. the session id
+	PID     int    // process track in the viewer
+	Spans   []Span
+	Dropped uint64 // spans evicted from the flight recorder
+}
+
+// SessionFromRecorder snapshots a recorder into an exportable
+// SessionTrace.
+func SessionFromRecorder(r *Recorder, pid int) SessionTrace {
+	spans, dropped := r.Snapshot()
+	return SessionTrace{Name: r.Name(), PID: pid, Spans: spans, Dropped: dropped}
+}
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace streams the sessions as one Chrome trace-event
+// JSON document. Events are encoded one at a time, so arbitrarily
+// long timelines never materialize in memory.
+func WriteChromeTrace(w io.Writer, sessions ...SessionTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline after each value, which doubles as
+		// the stream's record separator.
+		return enc.Encode(ev)
+	}
+	for _, sess := range sessions {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", PID: sess.PID, TID: 1,
+			Args: map[string]any{"name": sess.Name},
+		}); err != nil {
+			return err
+		}
+		if sess.Dropped > 0 {
+			if err := emit(chromeEvent{
+				Name: "flight recorder dropped spans", Ph: "I", TS: 0,
+				PID: sess.PID, TID: 1, Scope: "p",
+				Args: map[string]any{"dropped": sess.Dropped},
+			}); err != nil {
+				return err
+			}
+		}
+		for i := range sess.Spans {
+			s := &sess.Spans[i]
+			dur := float64(s.Dur) / 1e3
+			args := map[string]any{"spanId": s.ID}
+			if s.Parent != 0 {
+				args["parentId"] = s.Parent
+			}
+			for _, a := range s.Attrs() {
+				args[a.Key] = a.Value
+			}
+			if err := emit(chromeEvent{
+				Name: s.Name, Ph: "X", TS: float64(s.Start) / 1e3, Dur: &dur,
+				PID: sess.PID, TID: 1, Args: args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

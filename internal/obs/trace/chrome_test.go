@@ -1,0 +1,154 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quantumdd/internal/obs/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticSessions builds a deterministic two-session timeline:
+// timings are fixed, so the encoded bytes are reproducible — unlike a
+// live run, whose schema is validated end-to-end by the web tests on
+// a scripted GHZ sequence.
+func syntheticSessions() []trace.SessionTrace {
+	return []trace.SessionTrace{
+		{
+			Name: "sim-1",
+			PID:  1,
+			Spans: []trace.Span{
+				trace.MakeSpan(1, 0, "POST /api/simulation/{id}/step", 0, 5000),
+				trace.MakeSpan(2, 1, "step:gate", 500, 4000,
+					trace.Attr{Key: "op_index", Value: 0},
+					trace.Attr{Key: "nodes_before", Value: 1},
+					trace.Attr{Key: "nodes_after", Value: 2}),
+				trace.MakeSpan(3, 2, "dd:applygate", 700, 3500),
+			},
+		},
+		{
+			Name:    "verify-2",
+			PID:     2,
+			Dropped: 3,
+			Spans: []trace.Span{
+				trace.MakeSpan(1, 0, "verify:left h q[0]", 100, 1250,
+					trace.Attr{Key: "nodes_after", Value: 4}),
+			},
+		},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, syntheticSessions()...); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace output changed:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// chromeDoc mirrors the subset of the trace-event format the viewers
+// require; the schema assertions below are what keep the export
+// loadable in chrome://tracing and Perfetto.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name  string         `json:"name"`
+		Ph    string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		Dur   *float64       `json:"dur"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Scope string         `json:"s"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, syntheticSessions()...); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	meta := map[int]string{} // pid -> process_name
+	spans := map[int]map[uint64][2]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			meta[ev.PID] = ev.Args["name"].(string)
+		case "I":
+			if ev.Scope != "p" {
+				t.Fatalf("instant event scope = %q, want process scope", ev.Scope)
+			}
+			if _, ok := ev.Args["dropped"]; !ok {
+				t.Fatal("dropped-spans instant event lacks the count")
+			}
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("complete event %q has invalid ts/dur", ev.Name)
+			}
+			if ev.TID != 1 {
+				t.Fatalf("complete event %q on tid %d, want 1", ev.Name, ev.TID)
+			}
+			id := uint64(ev.Args["spanId"].(float64))
+			if spans[ev.PID] == nil {
+				spans[ev.PID] = map[uint64][2]float64{}
+			}
+			spans[ev.PID][id] = [2]float64{ev.TS, ev.TS + *ev.Dur}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	// Session → track mapping: each session got its own pid with a
+	// process_name record naming it.
+	if meta[1] != "sim-1" || meta[2] != "verify-2" {
+		t.Fatalf("process_name mapping wrong: %v", meta)
+	}
+	// Nesting: every child's interval lies inside its parent's on the
+	// same track — what the viewers use to reconstruct the span tree.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		pidRaw, ok := ev.Args["parentId"]
+		if !ok {
+			continue
+		}
+		parent, ok := spans[ev.PID][uint64(pidRaw.(float64))]
+		if !ok {
+			t.Fatalf("span %q references unknown parent %v", ev.Name, pidRaw)
+		}
+		if ev.TS < parent[0] || ev.TS+*ev.Dur > parent[1] {
+			t.Fatalf("span %q [%g,%g] not contained in parent [%g,%g]",
+				ev.Name, ev.TS, ev.TS+*ev.Dur, parent[0], parent[1])
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package trace is the span-tracing layer of the reproduction: a
+// zero-dependency tracer whose spans form a tree — HTTP request →
+// session operation (step / fast-forward / measure / verify round) →
+// gate application or fused run → top-level DD operation — and a
+// bounded per-session flight recorder holding the most recent
+// completed spans.
+//
+// DD behavior is wildly instance-dependent (Wille et al., CSUR 2022),
+// so aggregate histograms cannot answer "where did THIS step's time
+// and nodes go". The flight recorder can: every session keeps a
+// fixed-capacity ring buffer of completed spans (oldest evicted, with
+// an exact dropped-span count), cheap enough to leave on in
+// production and exportable at any moment as Chrome trace-event JSON
+// (chrome.go) — loadable in chrome://tracing or https://ui.perfetto.dev
+// without installing anything, in the spirit of the paper's tool.
+//
+// Hot-path costs: with no recorder attached to the context, StartSpan
+// is two context lookups and allocates nothing — the disabled path is
+// guarded by an AllocsPerRun test. With a recorder attached, starting
+// a span costs one span allocation plus one context allocation, and
+// completing it copies the span into the ring under the recorder
+// mutex. Attributes live in a fixed-size inline array, so SetAttr
+// never allocates.
+//
+// Concurrency: a Recorder belongs to one session, and sessions are
+// single-goroutine by construction (the web server holds the
+// per-session lock for the duration of a request; the CLIs are
+// sequential). StartSpan/End and the DD tracer therefore run on the
+// session's goroutine only; Snapshot and Dropped take the ring mutex
+// and may be called from any goroutine (the trace exporter, the
+// debug-bundle builder, a metrics scrape).
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"quantumdd/internal/dd"
+)
+
+// MaxAttrs bounds the attributes one span can carry. SetAttr beyond
+// the bound is dropped silently — attribute presence is best-effort
+// diagnostics, not an API contract.
+const MaxAttrs = 8
+
+// Attr is one integer-valued span attribute (node counts, cache hits,
+// fused widths, microsecond pauses). Integer-only keeps spans
+// fixed-size and SetAttr allocation-free.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed region. Start and Dur are nanoseconds relative to
+// the recorder's epoch, so exported timelines start near zero and
+// survive wall-clock adjustments (both derive from the monotonic
+// reading of time.Since).
+type Span struct {
+	ID     uint64
+	Parent uint64 // 0 = root
+	Name   string
+	Start  int64 // ns since the recorder epoch
+	Dur    int64 // ns
+
+	nattrs int
+	attrs  [MaxAttrs]Attr
+
+	// Active-span bookkeeping; nil on completed (ring) copies.
+	rec  *Recorder
+	prev *Span // enclosing active span, restored as current on End
+}
+
+// SetAttr attaches an integer attribute. Safe on a nil span (the
+// disabled-tracer path) and on completed spans built with MakeSpan.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil || s.nattrs >= MaxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Value: v}
+	s.nattrs++
+}
+
+// Attrs returns the attached attributes. The slice aliases the span's
+// inline storage; callers must not retain it past the span.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs[:s.nattrs]
+}
+
+// MakeSpan builds a completed span value — for tests and for callers
+// synthesizing timelines to feed Recorder.Emit or WriteChromeTrace.
+func MakeSpan(id, parent uint64, name string, startNS, durNS int64, attrs ...Attr) Span {
+	s := Span{ID: id, Parent: parent, Name: name, Start: startNS, Dur: durNS}
+	for _, a := range attrs {
+		s.SetAttr(a.Key, a.Value)
+	}
+	return s
+}
+
+// End completes the span: it computes the duration, restores the
+// enclosing span as the recorder's current one, and copies the span
+// into the flight-recorder ring. Safe on a nil span. A span must be
+// ended exactly once, on the goroutine that started it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	s.Dur = int64(time.Since(r.epoch)) - s.Start
+	r.current = s.prev
+	done := *s
+	done.rec, done.prev = nil, nil
+	done.nattrs = s.nattrs
+	r.Emit(done)
+}
+
+// Recorder is the per-session flight recorder: a fixed-capacity ring
+// of completed spans, oldest-evicted, with an exact eviction count.
+type Recorder struct {
+	name  string
+	epoch time.Time
+	cap   int
+
+	mu      sync.Mutex
+	ring    []Span // grows up to cap, then wraps
+	head    int    // index of the oldest span once the ring is full
+	dropped uint64
+	nextID  uint64
+
+	// current is the innermost active span. Owner-goroutine only —
+	// see the package comment.
+	current *Span
+
+	// onDrop, when set, observes each eviction — the web server wires
+	// it to the trace_spans_dropped_total counter so the metric
+	// reconciles exactly with the per-recorder Dropped count.
+	onDrop func()
+}
+
+// DefaultCapacity is the flight-recorder size sessions get unless
+// configured otherwise: enough for a few hundred gate steps with
+// their DD-op children, bounded at roughly 250 KiB per session.
+const DefaultCapacity = 1024
+
+// NewRecorder creates a flight recorder holding up to capacity
+// completed spans (DefaultCapacity when capacity <= 0). The name
+// labels the session's track in exported timelines.
+func NewRecorder(name string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{name: name, epoch: time.Now(), cap: capacity}
+}
+
+// Name returns the track label given at construction.
+func (r *Recorder) Name() string { return r.name }
+
+// OnDrop installs a hook observing each evicted span. Install before
+// the recorder sees traffic; the hook runs outside the ring mutex.
+func (r *Recorder) OnDrop(f func()) { r.onDrop = f }
+
+// start begins a span. Owner-goroutine only.
+func (r *Recorder) start(name string, parent *Span) *Span {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	s := &Span{
+		ID:    id,
+		Name:  name,
+		Start: int64(time.Since(r.epoch)),
+		rec:   r,
+		prev:  r.current,
+	}
+	if parent != nil {
+		s.Parent = parent.ID
+	} else if r.current != nil {
+		s.Parent = r.current.ID
+	}
+	r.current = s
+	return s
+}
+
+// Emit appends a completed span to the ring, evicting the oldest one
+// when the recorder is at capacity. Spans built elsewhere (tests, the
+// DD tracer) enter the recorder through here; ID assignment is the
+// caller's business.
+func (r *Recorder) Emit(s Span) {
+	var evicted bool
+	r.mu.Lock()
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, s)
+	} else {
+		r.ring[r.head] = s
+		r.head++
+		if r.head == r.cap {
+			r.head = 0
+		}
+		r.dropped++
+		evicted = true
+	}
+	r.mu.Unlock()
+	if evicted && r.onDrop != nil {
+		r.onDrop()
+	}
+}
+
+// nextSpanID reserves an ID for an externally built span (the DD
+// tracer), keeping IDs unique within the recorder.
+func (r *Recorder) nextSpanID() uint64 {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	return id
+}
+
+// Snapshot returns the retained spans, oldest first, plus the number
+// of spans evicted so far. Safe from any goroutine.
+func (r *Recorder) Snapshot() ([]Span, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out, r.dropped
+}
+
+// Dropped returns the number of spans evicted from the ring so far.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of retained spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// ddOpNames maps dd.Op to a stable pre-built span name, so the DD
+// tracer never concatenates strings on the hot path.
+var ddOpNames = func() [dd.NumOps]string {
+	var names [dd.NumOps]string
+	for op := dd.Op(0); op < dd.NumOps; op++ {
+		names[op] = "dd:" + op.String()
+	}
+	return names
+}()
+
+// DDTracer returns a dd.TraceFunc bridging the engine's PR 3 trace
+// hook into the recorder: every top-level DD operation (multmv,
+// applygate, gc, …) becomes a child span of the recorder's current
+// active span. Operations completing while no span is active (e.g.
+// diagram rendering outside a request span) are not recorded, which
+// keeps the ring filled with request-attributable work.
+//
+// The returned func may be called from goroutines other than the
+// session's only while the set of active spans is stable (the
+// Monte-Carlo noise harness), since it reads the current span without
+// the ring mutex.
+func (r *Recorder) DDTracer() dd.TraceFunc {
+	return func(op dd.Op, d time.Duration) {
+		cur := r.current
+		if cur == nil || op >= dd.NumOps {
+			return
+		}
+		end := int64(time.Since(r.epoch))
+		r.Emit(Span{
+			ID:     r.nextSpanID(),
+			Parent: cur.ID,
+			Name:   ddOpNames[op],
+			Start:  end - int64(d),
+			Dur:    int64(d),
+		})
+	}
+}
+
+// Tee combines trace funcs, skipping nils — how a session's DD
+// package feeds the metrics histograms and the flight recorder from
+// one hook.
+func Tee(fns ...dd.TraceFunc) dd.TraceFunc {
+	live := fns[:0]
+	for _, f := range fns {
+		if f != nil {
+			live = append(live, f)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := append([]dd.TraceFunc(nil), live...)
+	return func(op dd.Op, d time.Duration) {
+		for _, f := range out {
+			f(op, d)
+		}
+	}
+}
+
+// Context plumbing. Two keys: one for the recorder (attached once per
+// request or run), one for the innermost span (rewritten by each
+// StartSpan). Lookups on a context without either are allocation-free.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// With attaches a recorder to the context; spans started from derived
+// contexts land in its ring. A nil recorder returns ctx unchanged.
+func With(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// FromContext returns the attached recorder, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// Enabled reports whether spans started from this context are
+// recorded — callers use it to skip building expensive span names and
+// attributes on the disabled path.
+func Enabled(ctx context.Context) bool {
+	if _, ok := ctx.Value(spanKey).(*Span); ok {
+		return true
+	}
+	return FromContext(ctx) != nil
+}
+
+// StartSpan begins a span under the context's current span (or as a
+// root when none is active) and returns a derived context carrying it.
+// Without a recorder attached it returns (ctx, nil) and allocates
+// nothing; all Span methods tolerate nil receivers, so call sites need
+// no branches.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	var r *Recorder
+	if parent != nil {
+		r = parent.rec
+	} else if r, _ = ctx.Value(recorderKey).(*Recorder); r == nil {
+		return ctx, nil
+	}
+	s := r.start(name, parent)
+	return context.WithValue(ctx, spanKey, s), s
+}

@@ -8,10 +8,13 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"quantumdd/internal/dd"
+	"quantumdd/internal/obs/trace"
 	"quantumdd/internal/qc"
 )
 
@@ -220,6 +223,65 @@ func (s *Simulator) maybeGC() {
 // StepForward executes the next operation and reports what happened.
 // Reaching the end yields an EventEnd without error.
 func (s *Simulator) StepForward() (Event, error) {
+	return s.StepForwardCtx(context.Background())
+}
+
+// stepSpanName maps an op onto the stable session-op span name — no
+// formatting, so naming costs nothing beyond the enabled check.
+func stepSpanName(op *qc.Op) string {
+	switch op.Kind {
+	case qc.KindBarrier:
+		return "step:barrier"
+	case qc.KindMeasure:
+		return "step:measure"
+	case qc.KindReset:
+		return "step:reset"
+	default:
+		if op.Cond != nil {
+			return "step:cond-gate"
+		}
+		return "step:gate"
+	}
+}
+
+// StepForwardCtx is StepForward under a trace context: when a flight
+// recorder rides on ctx (trace.With), the step is recorded as a
+// session-op span carrying the DD attributes triage needs — node
+// counts before/after, compute-table and apply-table hit deltas,
+// fusion width, and whether the node budget aborted the step — with
+// the gate application and the engine's top-level DD operations as
+// child spans. Without a recorder it is exactly StepForward: the
+// tracing path adds no allocations.
+func (s *Simulator) StepForwardCtx(ctx context.Context) (Event, error) {
+	if !trace.Enabled(ctx) {
+		return s.stepForward(ctx)
+	}
+	name := "step:end"
+	if !s.AtEnd() {
+		name = stepSpanName(&s.circ.Ops[s.pos])
+	}
+	ctx, sp := trace.StartSpan(ctx, name)
+	sp.SetAttr("op_index", int64(s.pos))
+	sp.SetAttr("nodes_before", int64(dd.SizeV(s.state)))
+	before := s.pkg.Stats()
+	ev, err := s.stepForward(ctx)
+	after := s.pkg.Stats()
+	sp.SetAttr("nodes_after", int64(dd.SizeV(s.state)))
+	sp.SetAttr("ct_hits", int64(after.CacheHits-before.CacheHits))
+	sp.SetAttr("apply_ct_hits", int64(after.ApplyCTHits-before.ApplyCTHits))
+	if ev.Fused > 0 {
+		sp.SetAttr("fused", int64(ev.Fused))
+	}
+	if err != nil && errors.Is(err, dd.ErrResourceExhausted) {
+		sp.SetAttr("budget_exhausted", 1)
+	}
+	sp.End()
+	return ev, err
+}
+
+// stepForward is the untimed step body; ctx carries the trace span
+// the gate application parents under.
+func (s *Simulator) stepForward(ctx context.Context) (Event, error) {
 	if s.AtEnd() {
 		return Event{Kind: EventEnd, OpIndex: s.pos}, nil
 	}
@@ -265,11 +327,23 @@ func (s *Simulator) StepForward() (Event, error) {
 		run := s.fusionRun(op)
 		var next dd.VEdge
 		var err error
+		var asp *trace.Span
+		if trace.Enabled(ctx) {
+			// Name the application span after the concrete gate — the
+			// string build only happens with a recorder attached.
+			if run > 1 {
+				_, asp = trace.StartSpan(ctx, "fused-run "+op.String())
+				asp.SetAttr("width", int64(run))
+			} else {
+				_, asp = trace.StartSpan(ctx, "apply "+op.String())
+			}
+		}
 		if run > 1 {
 			next, err = s.applyFused(run)
 		} else {
 			next, err = s.applyGate(op)
 		}
+		asp.End()
 		if err != nil {
 			s.pkg.DecRefV(snap.state)
 			return Event{}, err
@@ -433,10 +507,16 @@ func (s *Simulator) StepBackward() bool {
 // operation (barrier/measure/reset/conditional), or to the end — the
 // ⏭ button of the tool. It returns the events executed.
 func (s *Simulator) RunToBreak() ([]Event, error) {
+	return s.RunToBreakCtx(context.Background())
+}
+
+// RunToBreakCtx is RunToBreak with trace propagation: each executed
+// operation lands as a session-op span under ctx's current span.
+func (s *Simulator) RunToBreakCtx(ctx context.Context) ([]Event, error) {
 	var events []Event
 	for !s.AtEnd() {
 		op := &s.circ.Ops[s.pos]
-		ev, err := s.StepForward()
+		ev, err := s.StepForwardCtx(ctx)
 		if err != nil {
 			return events, err
 		}
@@ -450,9 +530,14 @@ func (s *Simulator) RunToBreak() ([]Event, error) {
 
 // RunToEnd executes all remaining operations — ⏭ without breakpoints.
 func (s *Simulator) RunToEnd() ([]Event, error) {
+	return s.RunToEndCtx(context.Background())
+}
+
+// RunToEndCtx is RunToEnd with trace propagation.
+func (s *Simulator) RunToEndCtx(ctx context.Context) ([]Event, error) {
 	var events []Event
 	for !s.AtEnd() {
-		ev, err := s.StepForward()
+		ev, err := s.StepForwardCtx(ctx)
 		if err != nil {
 			return events, err
 		}

@@ -13,9 +13,11 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"quantumdd/internal/dd"
+	"quantumdd/internal/obs/trace"
 	"quantumdd/internal/qc"
 )
 
@@ -104,25 +106,34 @@ func unitaryOps(c *qc.Circuit) []*qc.Op {
 // the circuit as a matrix DD, recording the node count after each
 // multiplication.
 func BuildFunctionality(p *dd.Pkg, c *qc.Circuit) (dd.MEdge, []StepRecord, error) {
+	return buildFunctionality(context.Background(), p, c)
+}
+
+func buildFunctionality(ctx context.Context, p *dd.Pkg, c *qc.Circuit) (dd.MEdge, []StepRecord, error) {
 	if c.HasNonUnitary() {
 		return dd.MZero(), nil, fmt.Errorf("verify: circuit %q contains non-unitary operations", c.Name)
 	}
 	u := p.Ident()
 	p.IncRefM(u)
-	var trace []StepRecord
+	var recs []StepRecord
 	for _, op := range unitaryOps(c) {
+		_, sp := trace.StartSpan(ctx, "verify:apply")
 		next, err := p.MultMMChecked(gateDD(p, op), u)
 		if err != nil {
+			sp.End()
 			p.DecRefM(u)
-			return dd.MZero(), trace, fmt.Errorf("verify: building functionality of %q: %w", c.Name, err)
+			return dd.MZero(), recs, fmt.Errorf("verify: building functionality of %q: %w", c.Name, err)
 		}
 		p.IncRefM(next)
 		p.DecRefM(u)
 		u = next
-		trace = append(trace, StepRecord{Side: "G", Gate: op.String(), Nodes: dd.SizeM(u)})
+		n := dd.SizeM(u)
+		sp.SetAttr("nodes_after", int64(n))
+		sp.End()
+		recs = append(recs, StepRecord{Side: "G", Gate: op.String(), Nodes: n})
 	}
 	p.DecRefM(u)
-	return u, trace, nil
+	return u, recs, nil
 }
 
 // Check decides the equivalence of two circuits using the given
@@ -140,6 +151,16 @@ func Check(c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
 // (ddverify's -metrics-dump). The package must be at least as wide as
 // the circuits.
 func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+	return CheckOnCtx(context.Background(), p, c1, c2, strategy)
+}
+
+// CheckOnCtx is CheckOn under a trace context: with a flight recorder
+// attached (trace.With), every gate application of the chosen
+// strategy becomes a verify-round span — carrying side and resulting
+// node count — with the engine's matrix multiplications as child
+// spans, so a blown-up verify run shows exactly which application
+// left the vicinity of the identity.
+func CheckOnCtx(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
 	if c1.NQubits != c2.NQubits {
 		return nil, fmt.Errorf("verify: qubit counts differ (%d vs %d); ancillary registers are not supported", c1.NQubits, c2.NQubits)
 	}
@@ -148,19 +169,19 @@ func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) 
 	}
 	switch strategy {
 	case Construction:
-		return checkConstruction(p, c1, c2)
+		return checkConstruction(ctx, p, c1, c2)
 	default:
-		return checkAlternating(p, c1, c2, strategy)
+		return checkAlternating(ctx, p, c1, c2, strategy)
 	}
 }
 
-func checkConstruction(p *dd.Pkg, c1, c2 *qc.Circuit) (*Result, error) {
+func checkConstruction(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit) (*Result, error) {
 	res := &Result{Strategy: Construction}
-	u1, t1, err := BuildFunctionality(p, c1)
+	u1, t1, err := buildFunctionality(ctx, p, c1)
 	if err != nil {
 		return nil, err
 	}
-	u2, t2, err := BuildFunctionality(p, c2)
+	u2, t2, err := buildFunctionality(ctx, p, c2)
 	if err != nil {
 		return nil, err
 	}
@@ -242,40 +263,44 @@ func schedule(strategy Strategy, m1, m2 int) []bool {
 	return out
 }
 
-func checkAlternating(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
 	g1 := unitaryOps(c1)
 	g2 := unitaryOps(c2)
 	res := &Result{Strategy: strategy}
 	x := p.Ident()
 	p.IncRefM(x)
-	record := func(side string, gate string) {
+	record := func(sp *trace.Span, side string, gate string) {
 		n := dd.SizeM(x)
 		if n > res.PeakNodes {
 			res.PeakNodes = n
 		}
+		sp.SetAttr("nodes_after", int64(n))
+		sp.End()
 		res.Trace = append(res.Trace, StepRecord{Side: side, Gate: gate, Nodes: n})
 		res.MultOps++
 	}
 	res.PeakNodes = dd.SizeM(x)
 	applyLeft := func(op *qc.Op) {
 		// X ← U_i · X  (consume G from the left side)
+		_, sp := trace.StartSpan(ctx, "verify-round:G")
 		next := p.MultMM(gateDD(p, op), x)
 		p.IncRefM(next)
 		p.DecRefM(x)
 		x = next
-		record("G", op.String())
+		record(sp, "G", op.String())
 	}
 	applyRight := func(op *qc.Op) {
 		// X ← X · U′_j†  (consume G′ from the right side). Applying
 		// the inverted gates of G′ in original order from the right
 		// realizes G·G′⁻¹ once both circuits are consumed.
+		_, sp := trace.StartSpan(ctx, "verify-round:G'")
 		g, params := qc.InverseGate(op.Gate, op.Params)
 		invOp := qc.Op{Kind: qc.KindGate, Gate: g, Params: params, Targets: op.Targets, Controls: op.Controls}
 		next := p.MultMM(x, gateDD(p, &invOp))
 		p.IncRefM(next)
 		p.DecRefM(x)
 		x = next
-		record("G'", op.String())
+		record(sp, "G'", op.String())
 	}
 
 	if strategy == Lookahead {
@@ -290,6 +315,7 @@ func checkAlternating(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result
 				i++
 			default:
 				// Try both sides, keep the smaller result.
+				_, sp := trace.StartSpan(ctx, "verify-round:lookahead")
 				left := p.MultMM(gateDD(p, g1[i]), x)
 				gInv, params := qc.InverseGate(g2[j].Gate, g2[j].Params)
 				invOp := qc.Op{Kind: qc.KindGate, Gate: gInv, Params: params, Targets: g2[j].Targets, Controls: g2[j].Controls}
@@ -299,13 +325,13 @@ func checkAlternating(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result
 					p.IncRefM(left)
 					p.DecRefM(x)
 					x = left
-					record("G", g1[i].String())
+					record(sp, "G", g1[i].String())
 					i++
 				} else {
 					p.IncRefM(right)
 					p.DecRefM(x)
 					x = right
-					record("G'", g2[j].String())
+					record(sp, "G'", g2[j].String())
 					j++
 				}
 			}

@@ -48,6 +48,11 @@ type Config struct {
 	// RequestTimeout bounds each request, including break/end
 	// fast-forward loops, via a context deadline.
 	RequestTimeout time.Duration
+	// TraceSpans sets each session's flight-recorder capacity (the
+	// number of completed spans retained for /debug/sessions/{id}/trace
+	// and debug bundles). 0 uses trace.DefaultCapacity; negative
+	// disables per-session tracing entirely.
+	TraceSpans int
 	// Logger receives request, panic, and eviction logs. Nil discards.
 	// Every component (middleware, handlers, session reaper) logs
 	// through this one injected logger, decorated with request-ID and
@@ -88,6 +93,7 @@ func DefaultConfig() Config {
 		SessionTTL:     30 * time.Minute,
 		MaxSessions:    256,
 		RequestTimeout: 15 * time.Second,
+		TraceSpans:     1024,
 	}
 }
 

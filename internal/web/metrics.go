@@ -17,6 +17,7 @@ import (
 
 	"quantumdd/internal/dd"
 	"quantumdd/internal/obs"
+	"quantumdd/internal/obs/trace"
 )
 
 type serverMetrics struct {
@@ -39,6 +40,9 @@ type serverMetrics struct {
 	evictedLRU      *obs.Counter
 	evictedTTL      *obs.Counter
 	reaperSweeps    *obs.Counter
+
+	// Flight-recorder accounting across all sessions.
+	spansDropped *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -72,6 +76,8 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		"Sessions evicted, by reason.", obs.L("reason", "ttl"))
 	m.reaperSweeps = r.Counter("session_reaper_sweeps_total",
 		"Idle-session reaper sweeps completed.")
+	m.spansDropped = r.Counter("trace_spans_dropped_total",
+		"Spans evicted from per-session flight recorders (ring buffer at capacity).")
 	return m
 }
 
@@ -93,15 +99,28 @@ func (s *Server) collect() {
 	m.simsTombs.Set(float64(s.sims.tombCount()))
 	m.verifiesTombs.Set(float64(s.verifies.tombCount()))
 
+	// forEach hands idle sessions over with their lock held
+	// (fresh=true): those get a forced PublishStats first, so a scrape
+	// right after a short burst of activity (fewer ops than the
+	// publish stride, no GC) still observes current table loads and
+	// node counts instead of a snapshot up to 31 operations old. Busy
+	// sessions fall back to the race-clean LastStats read.
 	var agg dd.Stats
 	pkgs := 0
-	s.sims.forEach(func(id string, sess *simSession) {
-		if st, ok := sess.sim.Pkg().LastStats(); ok {
+	s.sims.forEach(func(id string, sess *simSession, fresh bool) {
+		p := sess.sim.Pkg()
+		if fresh {
+			p.PublishStats()
+		}
+		if st, ok := p.LastStats(); ok {
 			agg = obs.AddStats(agg, st)
 			pkgs++
 		}
 	})
-	s.verifies.forEach(func(id string, sess *verifySession) {
+	s.verifies.forEach(func(id string, sess *verifySession, fresh bool) {
+		if fresh {
+			sess.pkg.PublishStats()
+		}
 		if st, ok := sess.pkg.LastStats(); ok {
 			agg = obs.AddStats(agg, st)
 			pkgs++
@@ -131,7 +150,24 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics.registry }
 
 // instrument installs the engine tracer on a session's DD package so
 // its operation latencies land in the shared histograms, and
-// publishes the initial stats snapshot for scrape-time reads.
-func (s *Server) instrument(p *dd.Pkg) {
-	p.SetTracer(s.metrics.dd.Tracer())
+// publishes the initial stats snapshot for scrape-time reads. When
+// the session carries a flight recorder, the same hook also turns
+// every top-level DD operation into a child span of the active
+// request span, and ring evictions feed trace_spans_dropped_total.
+func (s *Server) instrument(p *dd.Pkg, rec *trace.Recorder) {
+	if rec == nil {
+		p.SetTracer(s.metrics.dd.Tracer())
+		return
+	}
+	rec.OnDrop(s.metrics.spansDropped.Inc)
+	p.SetTracer(trace.Tee(s.metrics.dd.Tracer(), rec.DDTracer()))
+}
+
+// newRecorder creates a session's flight recorder, or nil when
+// tracing is disabled (Config.TraceSpans < 0).
+func (s *Server) newRecorder(id string) *trace.Recorder {
+	if s.cfg.TraceSpans < 0 {
+		return nil
+	}
+	return trace.NewRecorder(id, s.cfg.TraceSpans)
 }

@@ -178,12 +178,17 @@ func (r *registry[T]) tombCount() int {
 	return len(r.tombs)
 }
 
-// forEach visits every live session WITHOUT taking the per-session
-// locks: f observes the stored value concurrently with requests, so
-// it must restrict itself to race-clean reads (atomically published
-// state such as dd.Pkg.LastStats). This is what keeps the metrics
-// scrape from stalling behind a long-running fast-forward.
-func (r *registry[T]) forEach(f func(id string, v T)) {
+// forEach visits every live session. For each handle it TryLocks the
+// per-session mutex: idle sessions are visited with the lock held and
+// fresh=true, so f may touch session-owned state directly (e.g. force
+// a dd.Pkg.PublishStats so scrapes never see a stale snapshot). Busy
+// sessions — a request or fast-forward holds the lock — are visited
+// with fresh=false, and f must restrict itself to race-clean reads
+// (atomically published state such as LastStats). TryLock is what
+// keeps the metrics scrape from stalling behind a long-running
+// fast-forward while still refreshing every session that is not
+// actively working.
+func (r *registry[T]) forEach(f func(id string, v T, fresh bool)) {
 	r.mu.RLock()
 	handles := make([]*handle[T], 0, len(r.entries))
 	for _, h := range r.entries {
@@ -191,6 +196,29 @@ func (r *registry[T]) forEach(f func(id string, v T)) {
 	}
 	r.mu.RUnlock()
 	for _, h := range handles {
-		f(h.id, h.val)
+		if h.mu.TryLock() {
+			if !h.gone {
+				f(h.id, h.val, true)
+			}
+			h.mu.Unlock()
+		} else {
+			f(h.id, h.val, false)
+		}
 	}
+}
+
+// peek returns the stored value without taking the per-session lock.
+// The value pointer is written once before the handle is published and
+// never mutated, so the read is race-clean; callers must only use the
+// value's cross-goroutine-safe surface (the flight recorder's
+// Snapshot, LastStats). Evicted and unknown ids report false.
+func (r *registry[T]) peek(id string) (T, bool) {
+	r.mu.RLock()
+	h, ok := r.entries[id]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return h.val, true
 }

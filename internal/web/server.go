@@ -9,6 +9,7 @@ import (
 
 	"quantumdd/internal/algorithms"
 	"quantumdd/internal/dd"
+	"quantumdd/internal/obs/trace"
 	"quantumdd/internal/qc"
 	"quantumdd/internal/sim"
 	"quantumdd/internal/vis"
@@ -45,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/verification/{id}/export", s.handleVerifyExport)
 	mux.HandleFunc("POST /api/noisy", s.handleNoisy)
 	mux.HandleFunc("POST /api/functionality", s.handleFunctionality)
+	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleSessionTrace)
 	return s.withMiddleware(mux)
 }
 
@@ -146,12 +148,15 @@ func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := newSimSession(circ, s.cfg.Seed, s.cfg.MaxNodes)
-	s.instrument(sess.sim.Pkg())
+	// The id is allocated before the recorder so the flight recorder's
+	// track label matches the session id in exported timelines.
+	id := s.newID("sim")
+	sess.rec = s.newRecorder(id)
+	s.instrument(sess.sim.Pkg(), sess.rec)
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	// Render before publishing: the session is not yet reachable, so no
 	// lock is needed and a rendering panic cannot leak a broken session.
 	frame := simFrame(sess, style, "initial state |0…0⟩")
-	id := s.newID("sim")
 	s.metrics.simsCreated.Inc()
 	if evicted := s.sims.put(id, sess, time.Now()); evicted != "" {
 		s.metrics.evictedLRU.Inc()
@@ -211,6 +216,11 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
+	// The request span roots this request's slice of the session
+	// timeline; session-op and DD spans nest under it.
+	ctx := trace.With(r.Context(), sess.rec)
+	ctx, rsp := trace.StartSpan(ctx, "POST /api/simulation/{id}/step")
+	defer rsp.End()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	caption := ""
 	switch req.Action {
@@ -219,7 +229,7 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 			s.writeJSON(w, r, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
 			return
 		}
-		ev, err := sess.sim.StepForward()
+		ev, err := sess.sim.StepForwardCtx(ctx)
 		if err != nil {
 			s.writeStepError(w, r, sess, style, err)
 			return
@@ -234,7 +244,15 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 		sess.sim.Rewind()
 		caption = "initial state |0…0⟩"
 	case "break", "end":
-		ctx := r.Context()
+		steps := 0
+		if trace.Enabled(ctx) {
+			var ffsp *trace.Span
+			ctx, ffsp = trace.StartSpan(ctx, "fast-forward:"+req.Action)
+			defer func() {
+				ffsp.SetAttr("ops", int64(steps))
+				ffsp.End()
+			}()
+		}
 		for !sess.sim.AtEnd() {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				// The fast-forward loop is bounded by the request
@@ -247,11 +265,12 @@ func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
 				s.writeJSON(w, r, http.StatusOK, stepResponse{Frame: simFrame(sess, style, "awaiting dialog choice"), Pending: pending})
 				return
 			}
-			ev, err := sess.sim.StepForward()
+			ev, err := sess.sim.StepForwardCtx(ctx)
 			if err != nil {
 				s.writeStepError(w, r, sess, style, err)
 				return
 			}
+			steps++
 			caption = describeEvent(sess, ev)
 			if req.Action == "break" && ev.Op != nil && ev.Op.IsSpecial() {
 				break
@@ -311,8 +330,11 @@ func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
+	ctx := trace.With(r.Context(), sess.rec)
+	ctx, rsp := trace.StartSpan(ctx, "POST /api/simulation/{id}/choose")
+	defer rsp.End()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
-	ev, err := sess.sim.StepForward()
+	ev, err := sess.sim.StepForwardCtx(ctx)
 	if err != nil {
 		s.writeStepError(w, r, sess, style, err)
 		return
@@ -510,10 +532,11 @@ func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	s.instrument(sess.pkg)
+	id := s.newID("verify")
+	sess.rec = s.newRecorder(id)
+	s.instrument(sess.pkg, sess.rec)
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	frame := verifyFrame(sess, style, "identity")
-	id := s.newID("verify")
 	s.metrics.verifiesCreated.Inc()
 	if evicted := s.verifies.put(id, sess, time.Now()); evicted != "" {
 		s.metrics.evictedLRU.Inc()
@@ -569,18 +592,21 @@ func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
 	if s.decodeJSON(w, r, &req) != nil {
 		return
 	}
+	ctx := trace.With(r.Context(), sess.rec)
+	ctx, rsp := trace.StartSpan(ctx, "POST /api/verification/{id}/step")
+	defer rsp.End()
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	applied := ""
 	switch req.Action {
 	case "forward":
-		gate, err := sess.stepSide(req.Side)
+		gate, err := sess.stepSide(ctx, req.Side)
 		if err != nil {
 			s.writeVerifyStepError(w, r, sess, style, err)
 			return
 		}
 		applied = gate
 	case "barrier":
-		n, err := sess.runToBarrier(req.Side)
+		n, err := sess.runToBarrier(ctx, req.Side)
 		if err != nil {
 			s.writeVerifyStepError(w, r, sess, style, err)
 			return

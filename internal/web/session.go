@@ -7,6 +7,7 @@
 package web
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"quantumdd/internal/dd"
+	"quantumdd/internal/obs/trace"
 	"quantumdd/internal/qasm"
 	"quantumdd/internal/qc"
 	"quantumdd/internal/realfmt"
@@ -60,6 +62,10 @@ type PendingChoice struct {
 type simSession struct {
 	sim    *sim.Simulator
 	forced *int // outcome for the next dialog-requiring op
+	// rec is the session's flight recorder (nil when tracing is
+	// disabled). Assigned once before the session is published to the
+	// registry; its Snapshot side is safe from any goroutine.
+	rec *trace.Recorder
 }
 
 const superpositionEps = 1e-12
@@ -125,6 +131,7 @@ type verifySession struct {
 	// skipped transparently but delimit RunToBarrier).
 	li, ri  int
 	history []verifySnapshot
+	rec     *trace.Recorder // flight recorder; nil when tracing is disabled
 }
 
 type verifySnapshot struct {
@@ -164,7 +171,7 @@ func (v *verifySession) gateDD(op *qc.Op, invert bool) dd.MEdge {
 // stepSide applies the next gate of the chosen side ("left" = G,
 // "right" = G′). It returns the description of the applied gate, or
 // "" when that side is exhausted.
-func (v *verifySession) stepSide(side string) (string, error) {
+func (v *verifySession) stepSide(ctx context.Context, side string) (string, error) {
 	var circ *qc.Circuit
 	var pos *int
 	switch side {
@@ -183,6 +190,11 @@ func (v *verifySession) stepSide(side string) (string, error) {
 		return "", nil
 	}
 	op := &circ.Ops[*pos]
+	var sp *trace.Span
+	if trace.Enabled(ctx) {
+		_, sp = trace.StartSpan(ctx, "verify:"+side+" "+op.String())
+		sp.SetAttr("nodes_before", int64(dd.SizeM(v.x)))
+	}
 	var next dd.MEdge
 	var err error
 	if side == "left" {
@@ -191,10 +203,16 @@ func (v *verifySession) stepSide(side string) (string, error) {
 		next, err = v.pkg.MultMMChecked(v.x, v.gateDD(op, true))
 	}
 	if err != nil {
+		if errors.Is(err, dd.ErrResourceExhausted) {
+			sp.SetAttr("budget_exhausted", 1)
+		}
+		sp.End()
 		// The diagram is unchanged; the session keeps its position so
 		// the user can undo their way back below the budget.
 		return "", err
 	}
+	sp.SetAttr("nodes_after", int64(dd.SizeM(next)))
+	sp.End()
 	v.history = append(v.history, verifySnapshot{x: v.x, li: v.li, ri: v.ri})
 	v.pkg.IncRefM(v.x) // snapshot reference
 	v.pkg.IncRefM(next)
@@ -229,11 +247,18 @@ func (v *verifySession) setSidePos(side string, pos int) {
 // runToBarrier applies gates of the side up to the next barrier (or
 // the end) — the ⏭ button of the verification tab, which Ex. 12 uses
 // to consume "all gates from the circuit up to the next barrier".
-func (v *verifySession) runToBarrier(side string) (int, error) {
+func (v *verifySession) runToBarrier(ctx context.Context, side string) (applied int, err error) {
 	if side != "left" && side != "right" {
 		return 0, fmt.Errorf("web: unknown side %q", side)
 	}
-	applied := 0
+	if trace.Enabled(ctx) {
+		var sp *trace.Span
+		ctx, sp = trace.StartSpan(ctx, "fast-forward:"+side)
+		defer func() {
+			sp.SetAttr("ops", int64(applied))
+			sp.End()
+		}()
+	}
 	for {
 		circ, pos := v.sideCirc(side), v.sidePos(side)
 		if pos >= len(circ.Ops) {
@@ -247,7 +272,7 @@ func (v *verifySession) runToBarrier(side string) (int, error) {
 			v.setSidePos(side, pos+1)
 			continue
 		}
-		if _, err := v.stepSide(side); err != nil {
+		if _, err := v.stepSide(ctx, side); err != nil {
 			return applied, err
 		}
 		applied++

@@ -1,0 +1,119 @@
+package web
+
+// Trace export and one-shot debug bundles.
+//
+// GET /debug/sessions/{id}/trace streams one session's flight
+// recorder as Chrome trace-event JSON — open the download in
+// chrome://tracing or https://ui.perfetto.dev. The handler reads the
+// recorder through registry.peek, never the per-session lock, so a
+// timeline can be pulled from a session that is mid-fast-forward:
+// exactly the moment a timeline is wanted.
+//
+// BundleHandler serves the whole process state as one tar.gz — the
+// standard members from obs (metrics, profiles, build info, flags)
+// plus every live session's timeline — intended for the admin
+// listener, where it turns "can you reproduce it?" into "send me the
+// bundle".
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"quantumdd/internal/obs"
+	"quantumdd/internal/obs/trace"
+)
+
+// sessionRecorder finds the flight recorder of a live session of
+// either kind. The bool reports whether the session exists AND has
+// tracing enabled.
+func (s *Server) sessionRecorder(id string) (*trace.Recorder, bool) {
+	if sess, ok := s.sims.peek(id); ok {
+		return sess.rec, sess.rec != nil
+	}
+	if sess, ok := s.verifies.peek(id); ok {
+		return sess.rec, sess.rec != nil
+	}
+	return nil, false
+}
+
+func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.sessionRecorder(id)
+	if !ok {
+		s.sessionErr(w, r, errSessionUnknown)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".trace.json"))
+	if err := trace.WriteChromeTrace(w, trace.SessionFromRecorder(rec, 1)); err != nil {
+		s.reqLogger(r).Error("trace export failed", "sessionId", id, "error", err)
+	}
+}
+
+// sessionTraces snapshots every live traced session, each on its own
+// process track. Recorder snapshots are cross-goroutine safe, so the
+// fresh flag is irrelevant here.
+func (s *Server) sessionTraces() []trace.SessionTrace {
+	var out []trace.SessionTrace
+	s.sims.forEach(func(id string, sess *simSession, fresh bool) {
+		if sess.rec != nil {
+			out = append(out, trace.SessionFromRecorder(sess.rec, len(out)+1))
+		}
+	})
+	s.verifies.forEach(func(id string, sess *verifySession, fresh bool) {
+		if sess.rec != nil {
+			out = append(out, trace.SessionFromRecorder(sess.rec, len(out)+1))
+		}
+	})
+	return out
+}
+
+// Bundle CPU-profile window bounds: the ?cpu=<seconds> parameter is
+// clamped so a caller can neither skip the profile accidentally with
+// a huge value nor hold the handler for minutes.
+const (
+	defaultBundleCPU = 5 * time.Second
+	maxBundleCPU     = 30 * time.Second
+)
+
+// BundleHandler returns the one-shot debug-bundle endpoint: a single
+// tar.gz with the metrics exposition, goroutine/heap/CPU profiles,
+// build info, flag values, and one Chrome trace per live session
+// (sessions/<id>.trace.json). ?cpu=<seconds> adjusts the CPU profile
+// window (default 5, max 30, 0 omits it). The handler blocks for the
+// profiling window; mount it on the admin listener, not the public
+// mux.
+func (s *Server) BundleHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cpu := defaultBundleCPU
+		if v := r.URL.Query().Get("cpu"); v != "" {
+			secs, err := strconv.Atoi(v)
+			if err != nil || secs < 0 {
+				http.Error(w, "cpu must be a non-negative integer (seconds)", http.StatusBadRequest)
+				return
+			}
+			cpu = time.Duration(secs) * time.Second
+			if cpu > maxBundleCPU {
+				cpu = maxBundleCPU
+			}
+		}
+		// Refresh the session gauges and DD aggregates so metrics.prom
+		// inside the bundle matches what a scrape would have seen.
+		s.collect()
+		members := obs.StandardBundleMembers(s.metrics.registry, cpu)
+		for _, st := range s.sessionTraces() {
+			members = append(members, obs.BundleMember{
+				Name: "sessions/" + st.Name + ".trace.json",
+				Fill: func(w io.Writer) error { return trace.WriteChromeTrace(w, st) },
+			})
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="debug-bundle.tar.gz"`)
+		if err := obs.WriteBundle(w, members); err != nil {
+			s.logger.Error("debug bundle write failed", "error", err)
+		}
+	})
+}
