@@ -14,7 +14,13 @@
 //	      [-max-qubits 24] [-max-ops 4096]
 //	      [-max-nodes 250000] [-max-body-bytes 1048576]
 //	      [-session-ttl 30m] [-max-sessions 256] [-request-timeout 15s]
-//	      [-trace-spans 1024]
+//	      [-trace-spans 1024] [-spill-dir /var/lib/ddvis/spill]
+//	      [-spill-max-bytes 67108864]
+//
+// With -spill-dir set, sessions evicted by the idle TTL or the LRU cap
+// are spilled to disk as checksummed snapshots and transparently
+// restored on their next request instead of answering 410 Gone; see
+// README "Durability & recovery".
 //
 // When -admin-addr is set, a second listener serves the operational
 // endpoints (/healthz, /metrics, /debug/vars, /debug/pprof/…, and the
@@ -54,6 +60,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", def.MaxSessions, "LRU cap on live sessions per kind (0 = unlimited)")
 	reqTimeout := flag.Duration("request-timeout", def.RequestTimeout, "per-request deadline, bounds fast-forward loops (0 = none)")
 	traceSpans := flag.Int("trace-spans", def.TraceSpans, "per-session flight-recorder capacity in spans (0 = default, negative = disable tracing)")
+	spillDir := flag.String("spill-dir", "", "directory for durable session snapshots; evicted sessions spill here and are transparently restored on their next request (empty = disabled)")
+	spillMaxBytes := flag.Int64("spill-max-bytes", 0, "byte cap on the spill directory, oldest snapshots evicted first (0 = unbounded)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -66,6 +74,8 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *reqTimeout,
+		SpillDir:       *spillDir,
+		SpillMaxBytes:  *spillMaxBytes,
 		TraceSpans:     *traceSpans,
 		Logger:         logger,
 	})

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDdconvertSnapshotRoundTrip(t *testing.T) {
+	circ := writeTemp(t, "bell.qasm", bellQASM)
+	snap := filepath.Join(t.TempDir(), "bell.snap")
+
+	var out, errb strings.Builder
+	if code := RunDdconvert([]string{"-seed", "7", "-write-snapshot", snap, circ}, &out, &errb); code != 0 {
+		t.Fatalf("write-snapshot exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote snapshot") {
+		t.Fatalf("missing confirmation: %s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	extracted := filepath.Join(t.TempDir(), "extracted.qasm")
+	if code := RunDdconvert([]string{"-inspect-snapshot", "-out", extracted, snap}, &out, &errb); code != 0 {
+		t.Fatalf("inspect exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"kind:      simulation", "qubits:    2", "position:  4", "nodes:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+	got, err := os.ReadFile(extracted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != bellQASM {
+		t.Fatalf("extracted circuit differs:\n%s", got)
+	}
+}
+
+func TestDdconvertInspectRejectsCorruption(t *testing.T) {
+	circ := writeTemp(t, "bell.qasm", bellQASM)
+	snap := filepath.Join(t.TempDir(), "bell.snap")
+	var out, errb strings.Builder
+	if code := RunDdconvert([]string{"-write-snapshot", snap, circ}, &out, &errb); code != 0 {
+		t.Fatalf("write-snapshot exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := RunDdconvert([]string{"-inspect-snapshot", snap}, &out, &errb); code != 1 {
+		t.Fatalf("corrupt snapshot accepted (exit %d): %s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "snapshot rejected") {
+		t.Fatalf("unexpected error text: %s", errb.String())
+	}
+}

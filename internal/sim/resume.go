@@ -1,0 +1,57 @@
+package sim
+
+// Resuming a simulator from durable session state (internal/snapshot):
+// the spill-to-disk path serializes the circuit source, position,
+// classical bits and the DD state; restore re-parses the circuit and
+// rebuilds a Simulator around the decoded diagram. The step history is
+// not persisted — it can hold a snapshot per executed op, which would
+// defeat the point of a compact snapshot — so a restored session
+// resumes exactly where it was but cannot step backward past the
+// restore point (StepBackward reports false, like at the start of a
+// run).
+
+import (
+	"fmt"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qc"
+)
+
+// Resume reconstructs a Simulator mid-circuit. The restore callback
+// receives the simulator's freshly configured DD package (options —
+// notably WithMaxNodes — are applied first, so a node budget caps the
+// decode too) and returns the state edge; typically it wraps
+// dd.DecodeVectorBinary. Inputs are validated: an out-of-range
+// position, a classical register of the wrong shape, or a state of
+// the wrong qubit count is rejected rather than trusted.
+func Resume(circ *qc.Circuit, pos int, classical []int, peakNodes int, restore func(*dd.Pkg) (dd.VEdge, error), opts ...Option) (*Simulator, error) {
+	if pos < 0 || pos > len(circ.Ops) {
+		return nil, fmt.Errorf("sim: resume position %d out of range [0,%d]", pos, len(circ.Ops))
+	}
+	if len(classical) != circ.NClbits {
+		return nil, fmt.Errorf("sim: resume with %d classical bits, circuit has %d", len(classical), circ.NClbits)
+	}
+	for i, c := range classical {
+		if c < -1 || c > 1 {
+			return nil, fmt.Errorf("sim: resume classical bit %d has invalid value %d", i, c)
+		}
+	}
+	s := New(circ, opts...)
+	state, err := restore(s.pkg)
+	if err != nil {
+		return nil, err
+	}
+	if state.IsZero() {
+		return nil, fmt.Errorf("sim: resumed state is the zero vector")
+	}
+	if state.Level() != circ.NQubits-1 {
+		return nil, fmt.Errorf("sim: resumed state at level %d, circuit has %d qubits", state.Level(), circ.NQubits)
+	}
+	s.setState(state)
+	s.pos = pos
+	copy(s.classical, classical)
+	if peakNodes > s.peakNodes {
+		s.peakNodes = peakNodes
+	}
+	return s, nil
+}

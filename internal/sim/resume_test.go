@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/qasm"
+	"quantumdd/internal/qc"
+)
+
+const resumeSrc = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+t q[2];
+cx q[1],q[2];
+h q[2];
+measure q[0] -> c[0];
+x q[1];
+`
+
+func parseResume(t *testing.T) *qc.Circuit {
+	t.Helper()
+	c, err := qasm.Parse(resumeSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return c
+}
+
+// TestResumeContinuesIdentically runs a circuit halfway, snapshots the
+// state through the binary codec, resumes a second simulator from it,
+// and checks both finish with identical amplitudes, classical bits,
+// and — because the codec is bit-exact — identical re-encodings.
+func TestResumeContinuesIdentically(t *testing.T) {
+	circ := parseResume(t)
+	orig := New(circ, WithSeed(5))
+	for i := 0; i < 5; i++ {
+		if _, err := orig.StepForward(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	blob := orig.Pkg().AppendVectorBinary(nil, orig.State())
+
+	res, err := Resume(circ, orig.Pos(), orig.Classical(), orig.PeakNodes(),
+		func(p *dd.Pkg) (dd.VEdge, error) { return p.DecodeVectorBinary(blob) },
+		WithSeed(5))
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if res.Pos() != orig.Pos() {
+		t.Fatalf("resumed pos %d, want %d", res.Pos(), orig.Pos())
+	}
+	// Bit-identical restore: re-encoding the resumed state must equal
+	// the snapshot byte for byte.
+	if got := res.Pkg().AppendVectorBinary(nil, res.State()); string(got) != string(blob) {
+		t.Fatal("resumed state re-encodes differently")
+	}
+	if res.StepBackward() {
+		t.Fatal("StepBackward across the restore point must report false")
+	}
+
+	if _, err := orig.RunToEnd(); err != nil {
+		t.Fatalf("orig RunToEnd: %v", err)
+	}
+	if _, err := res.RunToEnd(); err != nil {
+		t.Fatalf("resumed RunToEnd: %v", err)
+	}
+	a, b := orig.Amplitudes(), res.Amplitudes()
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	oc, rc := orig.Classical(), res.Classical()
+	for i := range oc {
+		if oc[i] != rc[i] {
+			t.Fatalf("classical bit %d differs: %d vs %d", i, oc[i], rc[i])
+		}
+	}
+}
+
+// TestResumeValidates rejects inconsistent durable state instead of
+// trusting it.
+func TestResumeValidates(t *testing.T) {
+	circ := parseResume(t)
+	okState := func(p *dd.Pkg) (dd.VEdge, error) { return p.ZeroState(), nil }
+
+	if _, err := Resume(circ, -1, make([]int, 3), 0, okState); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if _, err := Resume(circ, len(circ.Ops)+1, make([]int, 3), 0, okState); err == nil {
+		t.Fatal("past-the-end position accepted")
+	}
+	if _, err := Resume(circ, 0, make([]int, 2), 0, okState); err == nil {
+		t.Fatal("wrong classical register size accepted")
+	}
+	if _, err := Resume(circ, 0, []int{0, 1, 7}, 0, okState); err == nil {
+		t.Fatal("invalid classical value accepted")
+	}
+	if _, err := Resume(circ, 0, make([]int, 3), 0,
+		func(p *dd.Pkg) (dd.VEdge, error) { return dd.VZero(), nil }); err == nil {
+		t.Fatal("zero state accepted")
+	}
+	wantErr := errors.New("decode failed")
+	if _, err := Resume(circ, 0, make([]int, 3), 0,
+		func(p *dd.Pkg) (dd.VEdge, error) { return dd.VZero(), wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("restore error not propagated: %v", err)
+	}
+}
+
+// TestResumeBudgetCapsDecode wires WithMaxNodes through Resume and
+// checks an oversized snapshot is rejected with ErrResourceExhausted.
+func TestResumeBudgetCapsDecode(t *testing.T) {
+	circ := parseResume(t)
+	orig := New(circ)
+	for i := 0; i < 5; i++ {
+		if _, err := orig.StepForward(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := orig.Pkg().AppendVectorBinary(nil, orig.State())
+	need := dd.SizeV(orig.State())
+	if need < 2 {
+		t.Fatalf("state too small for the test: %d nodes", need)
+	}
+	_, err := Resume(circ, orig.Pos(), orig.Classical(), 0,
+		func(p *dd.Pkg) (dd.VEdge, error) { return p.DecodeVectorBinary(blob) },
+		WithMaxNodes(1))
+	if !errors.Is(err, dd.ErrResourceExhausted) {
+		t.Fatalf("got %v, want ErrResourceExhausted", err)
+	}
+}
+
+// TestResumePeakNodes keeps the statistics panel continuous across a
+// restore: the restored peak is the max of the stored peak and the
+// restored state's size.
+func TestResumePeakNodes(t *testing.T) {
+	circ := parseResume(t)
+	res, err := Resume(circ, 0, []int{-1, -1, -1}, 1234,
+		func(p *dd.Pkg) (dd.VEdge, error) { return p.ZeroState(), nil })
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if res.PeakNodes() != 1234 {
+		t.Fatalf("peak %d, want 1234", res.PeakNodes())
+	}
+	if math.IsNaN(res.ProbOne(0)) {
+		t.Fatal("restored state unusable")
+	}
+}

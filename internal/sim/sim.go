@@ -489,9 +489,11 @@ func (s *Simulator) gateDD(op *qc.Op) (dd.MEdge, error) {
 
 // StepBackward undoes the most recently executed operation (including
 // non-unitary ones, by restoring the snapshot) and reports whether a
-// step was undone.
+// step was undone. A simulator resumed from a snapshot has no history
+// before the restore point, so stepping backward across it reports
+// false rather than failing.
 func (s *Simulator) StepBackward() bool {
-	if s.pos == 0 {
+	if s.pos == 0 || len(s.history) == 0 {
 		return false
 	}
 	snap := s.history[len(s.history)-1]

@@ -1,0 +1,41 @@
+package snapshot_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzSnapshotDecode from fuzzSeeds(). It only runs
+// when SNAPSHOT_REGEN_CORPUS=1 is set, i.e. after a deliberate format
+// change:
+//
+//	SNAPSHOT_REGEN_CORPUS=1 go test ./internal/snapshot -run TestRegenFuzzCorpus
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("SNAPSHOT_REGEN_CORPUS") != "1" {
+		t.Skip("set SNAPSHOT_REGEN_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapshotDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "seed-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range fuzzSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package faultfs wraps a snapshot.FS with deterministic fault
+// injection so the degradation paths of the durability layer are
+// tested, not assumed. Faults are scheduled by call count — "fail the
+// 2nd write", "short-read the 1st read", "flip bit 3 of byte 10 on
+// every read" — which makes failing tests reproducible and lets a
+// scenario pin the exact operation that goes wrong.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+
+	"quantumdd/internal/snapshot"
+)
+
+// ErrInjected is the error returned by injected write/read failures,
+// distinguishable from real filesystem errors in assertions.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner snapshot.FS with scheduled faults. The zero-value
+// fault schedule injects nothing; configure with the Fail* fields
+// before use. All methods are safe for concurrent use.
+type FS struct {
+	Inner snapshot.FS
+
+	mu     sync.Mutex
+	writes int
+	reads  int
+
+	// FailWrites lists 1-based WriteFile call numbers that fail with
+	// ErrInjected (the file is not created).
+	FailWrites map[int]bool
+	// FailRenames, when true, fails every Rename with ErrInjected —
+	// the "write succeeded, publish failed" torn-spill case.
+	FailRenames bool
+	// FailReads lists 1-based ReadFile call numbers that fail with
+	// ErrInjected.
+	FailReads map[int]bool
+	// ShortReads lists 1-based ReadFile call numbers that return only
+	// the first half of the file — a truncated snapshot.
+	ShortReads map[int]bool
+	// FlipBit, when >= 0, XORs bit (FlipBit % 8) of byte
+	// (FlipBit / 8 % len) into every ReadFile result — silent bit rot
+	// the CRC must catch. Set to -1 for none.
+	FlipBit int
+}
+
+// New wraps inner with an empty fault schedule.
+func New(inner snapshot.FS) *FS {
+	return &FS{Inner: inner, FlipBit: -1}
+}
+
+// Writes reports how many WriteFile calls the harness has seen.
+func (f *FS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Reads reports how many ReadFile calls the harness has seen.
+func (f *FS) Reads() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads
+}
+
+func (f *FS) MkdirAll(path string) error { return f.Inner.MkdirAll(path) }
+
+func (f *FS) WriteFile(path string, data []byte) error {
+	f.mu.Lock()
+	f.writes++
+	fail := f.FailWrites[f.writes]
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.Inner.WriteFile(path, data)
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	if f.FailRenames {
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldPath, newPath)
+}
+
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	f.reads++
+	n := f.reads
+	fail := f.FailReads[n]
+	short := f.ShortReads[n]
+	flip := f.FlipBit
+	f.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	data, err := f.Inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if short {
+		data = data[:len(data)/2]
+	}
+	if flip >= 0 && len(data) > 0 {
+		data = append([]byte(nil), data...)
+		data[(flip/8)%len(data)] ^= 1 << (flip % 8)
+	}
+	return data, nil
+}
+
+func (f *FS) Remove(path string) error { return f.Inner.Remove(path) }
+
+func (f *FS) ReadDir(path string) ([]snapshot.FileInfo, error) { return f.Inner.ReadDir(path) }

@@ -1,0 +1,99 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"quantumdd/internal/dd"
+	"quantumdd/internal/snapshot"
+)
+
+// fuzzSeeds builds the in-code seed set: valid envelopes of both
+// kinds (with real DD blobs inside) plus truncated and bit-flipped
+// variants. The checked-in corpus under testdata/fuzz mirrors these,
+// so plain `go test` replays them as regression inputs even without
+// -fuzz.
+func fuzzSeeds() [][]byte {
+	p := dd.New(2)
+	h := complex(0.7071067811865476, 0)
+	plus := p.ApplyGate(p.ZeroState(), dd.GateMatrix{h, h, h, -h}, 0)
+	bell := p.ApplyGate(plus, dd.GateMatrix{0, 1, 1, 0}, 1, dd.Control{Qubit: 0})
+
+	simBlob := snapshot.EncodeSim(&snapshot.Sim{
+		Source:    "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		Format:    "qasm",
+		Seed:      7,
+		Pos:       2,
+		Classical: []int{-1, -1},
+		PeakNodes: 3,
+		State:     p.AppendVectorBinary(nil, bell),
+	})
+	verBlob := snapshot.EncodeVerify(&snapshot.Verify{
+		LeftSource:  "OPENQASM 2.0;\nqreg q[2];\nx q[0];\n",
+		LeftFormat:  "qasm",
+		RightSource: "OPENQASM 2.0;\nqreg q[2];\nx q[0];\n",
+		RightFormat: "qasm",
+		LI:          1,
+		X:           p.AppendMatrixBinary(nil, p.Ident()),
+	})
+
+	seeds := [][]byte{simBlob, verBlob, nil, []byte("QDDSNAP\x00")}
+	for _, cut := range []int{1, 8, 10, len(simBlob) / 2, len(simBlob) - 1} {
+		if cut < len(simBlob) {
+			seeds = append(seeds, simBlob[:cut])
+		}
+	}
+	for _, off := range []int{0, 8, 9, 12, len(simBlob) / 2, len(simBlob) - 2} {
+		mut := bytes.Clone(simBlob)
+		mut[off] ^= 0x20
+		seeds = append(seeds, mut)
+	}
+	mut := bytes.Clone(verBlob)
+	mut[len(mut)/2] ^= 0x01
+	seeds = append(seeds, mut)
+	return seeds
+}
+
+// FuzzSnapshotDecode hammers the whole restore path with arbitrary
+// bytes: the envelope decoder must classify every failure (never
+// panic), and anything it accepts must survive the downstream DD
+// decode — which itself must only ever fail with an error, under a
+// node budget so hostile inputs cannot balloon memory.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sim, ver, err := snapshot.Decode(data)
+		if err != nil {
+			if !errors.Is(err, snapshot.ErrTruncated) &&
+				!errors.Is(err, snapshot.ErrChecksum) &&
+				!errors.Is(err, snapshot.ErrFormat) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		// The envelope checked out; the DD payload still gets the
+		// hardened treatment. Budget-capped so fuzz inputs stay small.
+		p := dd.New(2)
+		p.SetMaxNodes(1 << 12)
+		switch {
+		case sim != nil:
+			if _, err := p.DecodeVectorBinary(sim.State); err == nil {
+				// A valid state must re-encode identically.
+				e, _ := p.DecodeVectorBinary(sim.State)
+				if !bytes.Equal(p.AppendVectorBinary(nil, e), sim.State) {
+					t.Fatal("accepted state blob does not round-trip")
+				}
+			}
+		case ver != nil:
+			if _, err := p.DecodeMatrixBinary(ver.X); err == nil {
+				e, _ := p.DecodeMatrixBinary(ver.X)
+				if !bytes.Equal(p.AppendMatrixBinary(nil, e), ver.X) {
+					t.Fatal("accepted matrix blob does not round-trip")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package snapshot defines the durable on-disk form of a web session:
+// a versioned, CRC-checksummed envelope around a self-contained
+// payload — the original circuit source (re-parsed on restore, because
+// re-rendering from the parsed form is lossy), the interaction
+// position, and the decision diagram in the bit-exact binary encoding
+// of internal/dd. A session serialized on one replica and restored on
+// another reproduces the identical DD root edge.
+//
+// Envelope layout:
+//
+//	magic    8 bytes  "QDDSNAP\x00"
+//	version  1 byte   currently 1
+//	kind     1 byte   1 = simulation session, 2 = verification session
+//	length   uvarint  payload byte count
+//	payload  length bytes
+//	crc      4 bytes  little-endian CRC-32C over everything above
+//
+// The decoder classifies failures: ErrTruncated (input shorter than
+// the envelope claims), ErrChecksum (CRC mismatch — bit rot or torn
+// write), ErrFormat (wrong magic/version/kind or a malformed payload).
+// Callers route the first two to corruption counters and the last to
+// incompatibility handling; none of them ever panics, whatever the
+// input.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Classified decode failures. Every decode error wraps exactly one of
+// these sentinels.
+var (
+	ErrTruncated = errors.New("snapshot: truncated")
+	ErrChecksum  = errors.New("snapshot: checksum mismatch")
+	ErrFormat    = errors.New("snapshot: malformed")
+)
+
+const (
+	magic   = "QDDSNAP\x00"
+	version = 1
+
+	kindSim    = 1
+	kindVerify = 2
+
+	// maxPayload bounds what a decoder will even look at: larger
+	// claims are rejected before any allocation. Generous against real
+	// sessions (source text plus a compact DD encoding), tiny against
+	// an adversarial length field.
+	maxPayload = 64 << 20
+
+	// maxClassical bounds the classical-register length a payload may
+	// claim; qasm parsing enforces far smaller circuits.
+	maxClassical = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sim is the durable form of a simulation session.
+type Sim struct {
+	Source    string // original circuit source text (verbatim)
+	Format    string // "qasm" or "real" (as given at session creation)
+	Seed      int64
+	Pos       int    // next op index
+	Classical []int  // classical bits (-1 = never written)
+	PeakNodes int    // statistics continuity across restores
+	State     []byte // dd.AppendVectorBinary blob of the current state
+}
+
+// Verify is the durable form of a verification session.
+type Verify struct {
+	LeftSource  string
+	LeftFormat  string
+	RightSource string
+	RightFormat string
+	LI, RI      int    // per-side positions
+	X           []byte // dd.AppendMatrixBinary blob of the current diagram
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) i64(v int64)  { w.buf = binary.AppendVarint(w.buf, v) }
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(err error, format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]interface{}{err}, args...)...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(ErrFormat, "bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(ErrFormat, "bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail(ErrTruncated, "field of %d bytes at byte %d exceeds payload", n, r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// EncodeSim serializes a simulation session into a checksummed
+// envelope.
+func EncodeSim(s *Sim) []byte {
+	var w writer
+	w.str(s.Source)
+	w.str(s.Format)
+	w.i64(s.Seed)
+	w.i64(int64(s.Pos))
+	w.uvarint(uint64(len(s.Classical)))
+	for _, c := range s.Classical {
+		w.i64(int64(c))
+	}
+	w.i64(int64(s.PeakNodes))
+	w.bytes(s.State)
+	return seal(kindSim, w.buf)
+}
+
+// EncodeVerify serializes a verification session into a checksummed
+// envelope.
+func EncodeVerify(v *Verify) []byte {
+	var w writer
+	w.str(v.LeftSource)
+	w.str(v.LeftFormat)
+	w.str(v.RightSource)
+	w.str(v.RightFormat)
+	w.i64(int64(v.LI))
+	w.i64(int64(v.RI))
+	w.bytes(v.X)
+	return seal(kindVerify, w.buf)
+}
+
+// seal wraps a payload in the envelope and appends the CRC trailer.
+func seal(kind byte, payload []byte) []byte {
+	buf := make([]byte, 0, len(magic)+2+binary.MaxVarintLen64+len(payload)+4)
+	buf = append(buf, magic...)
+	buf = append(buf, version, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// Decode parses and verifies an envelope. Exactly one of the returned
+// payloads is non-nil on success. Failures wrap ErrTruncated,
+// ErrChecksum, or ErrFormat.
+func Decode(data []byte) (*Sim, *Verify, error) {
+	kind, payload, err := open(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &reader{data: payload}
+	switch kind {
+	case kindSim:
+		s := &Sim{
+			Source: r.str(),
+			Format: r.str(),
+			Seed:   r.i64(),
+			Pos:    int(r.i64()),
+		}
+		n := r.uvarint()
+		if r.err == nil && n > maxClassical {
+			return nil, nil, fmt.Errorf("%w: %d classical bits", ErrFormat, n)
+		}
+		if r.err == nil {
+			s.Classical = make([]int, 0, n)
+			for i := uint64(0); i < n; i++ {
+				s.Classical = append(s.Classical, int(r.i64()))
+			}
+		}
+		s.PeakNodes = int(r.i64())
+		s.State = append([]byte(nil), r.bytes()...)
+		if err := r.finish(); err != nil {
+			return nil, nil, err
+		}
+		return s, nil, nil
+	case kindVerify:
+		v := &Verify{
+			LeftSource:  r.str(),
+			LeftFormat:  r.str(),
+			RightSource: r.str(),
+			RightFormat: r.str(),
+			LI:          int(r.i64()),
+			RI:          int(r.i64()),
+		}
+		v.X = append([]byte(nil), r.bytes()...)
+		if err := r.finish(); err != nil {
+			return nil, nil, err
+		}
+		return nil, v, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown session kind %d", ErrFormat, kind)
+	}
+}
+
+// finish validates that the payload was consumed exactly.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFormat, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// open verifies the envelope (magic, version, length, CRC) and
+// returns the kind byte and payload slice (aliasing data).
+func open(data []byte) (byte, []byte, error) {
+	if len(data) < len(magic)+2 {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than any envelope", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if data[len(magic)] != version {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[len(magic)])
+	}
+	kind := data[len(magic)+1]
+	off := len(magic) + 2
+	n, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad payload length", ErrFormat)
+	}
+	off += sz
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes (cap %d)", ErrFormat, n, maxPayload)
+	}
+	end := off + int(n)
+	if end+4 > len(data) {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes, %d available", ErrTruncated, n, len(data)-off)
+	}
+	if end+4 < len(data) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after envelope", ErrFormat, len(data)-end-4)
+	}
+	want := binary.LittleEndian.Uint32(data[end:])
+	if got := crc32.Checksum(data[:end], castagnoli); got != want {
+		return 0, nil, fmt.Errorf("%w: crc %08x, want %08x", ErrChecksum, got, want)
+	}
+	return kind, data[off:end], nil
+}

@@ -1,0 +1,116 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleSim() *Sim {
+	return &Sim{
+		Source:    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n",
+		Format:    "qasm",
+		Seed:      42,
+		Pos:       2,
+		Classical: []int{-1, 1},
+		PeakNodes: 3,
+		State:     []byte{0x56, 1, 2, 3, 4},
+	}
+}
+
+func sampleVerify() *Verify {
+	return &Verify{
+		LeftSource:  "OPENQASM 2.0;\nqreg q[1];\nx q[0];\n",
+		LeftFormat:  "qasm",
+		RightSource: ".begin x1 .end",
+		RightFormat: "real",
+		LI:          1,
+		RI:          0,
+		X:           []byte{0x4d, 9, 8, 7},
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	s := sampleSim()
+	sim, ver, err := Decode(EncodeSim(s))
+	if err != nil || ver != nil || sim == nil {
+		t.Fatalf("Decode(sim): %v %v %v", sim, ver, err)
+	}
+	if sim.Source != s.Source || sim.Format != s.Format || sim.Seed != s.Seed ||
+		sim.Pos != s.Pos || sim.PeakNodes != s.PeakNodes ||
+		!bytes.Equal(sim.State, s.State) || len(sim.Classical) != 2 ||
+		sim.Classical[0] != -1 || sim.Classical[1] != 1 {
+		t.Fatalf("sim round trip mismatch: %+v", sim)
+	}
+
+	v := sampleVerify()
+	sim, ver, err = Decode(EncodeVerify(v))
+	if err != nil || sim != nil || ver == nil {
+		t.Fatalf("Decode(verify): %v %v %v", sim, ver, err)
+	}
+	if ver.LeftSource != v.LeftSource || ver.RightFormat != v.RightFormat ||
+		ver.LI != v.LI || ver.RI != v.RI || !bytes.Equal(ver.X, v.X) {
+		t.Fatalf("verify round trip mismatch: %+v", ver)
+	}
+}
+
+// TestDecodeClassifiesCorruption checks every byte-level mutation maps
+// onto the right sentinel: truncation → ErrTruncated, payload/CRC
+// damage → ErrChecksum, header damage → ErrFormat. Nothing panics.
+func TestDecodeClassifiesCorruption(t *testing.T) {
+	blob := EncodeSim(sampleSim())
+
+	for cut := 0; cut < len(blob); cut++ {
+		_, _, err := Decode(blob[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFormat) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation at %d: unclassified error %v", cut, err)
+		}
+	}
+
+	for off := 0; off < len(blob); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(blob)
+			mut[off] ^= 1 << bit
+			_, _, err := Decode(mut)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", off, bit)
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFormat) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("bit flip at %d.%d: unclassified error %v", off, bit, err)
+			}
+		}
+	}
+
+	// Payload-interior flips must specifically be caught by the CRC.
+	mut := bytes.Clone(blob)
+	mut[len(mut)-10] ^= 0x40
+	if _, _, err := Decode(mut); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload flip: got %v, want ErrChecksum", err)
+	}
+
+	if _, _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty input: got %v, want ErrTruncated", err)
+	}
+	if _, _, err := Decode(append(bytes.Clone(blob), 0)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("trailing byte: got %v, want ErrFormat", err)
+	}
+}
+
+func TestDecodeRejectsHostileClaims(t *testing.T) {
+	// An envelope whose payload length field claims more than the cap
+	// must be rejected before allocation.
+	hostile := []byte(magic)
+	hostile = append(hostile, version, kindSim)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01) // huge uvarint
+	if _, _, err := Decode(hostile); err == nil {
+		t.Fatal("hostile length claim accepted")
+	}
+	// Unknown kind with a valid CRC must be ErrFormat.
+	bad := seal(99, []byte{1, 2, 3})
+	if _, _, err := Decode(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unknown kind: got %v, want ErrFormat", err)
+	}
+}

@@ -1,0 +1,197 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"quantumdd/internal/snapshot"
+	"quantumdd/internal/snapshot/faultfs"
+)
+
+func openStore(t *testing.T, maxBytes int64, fs snapshot.FS) *snapshot.Store {
+	t.Helper()
+	st, err := snapshot.OpenStore(filepath.Join(t.TempDir(), "spill"), maxBytes, fs)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return st
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	st := openStore(t, 0, nil)
+	if err := st.Put("sim-1", []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := st.Get("sim-1")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := st.Put("sim-1", []byte("world")); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	if got, _ = st.Get("sim-1"); !bytes.Equal(got, []byte("world")) {
+		t.Fatalf("Get after overwrite: %q", got)
+	}
+	if st.Len() != 1 || st.Bytes() != 5 {
+		t.Fatalf("Len=%d Bytes=%d, want 1/5", st.Len(), st.Bytes())
+	}
+	if err := st.Delete("sim-1"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := st.Get("sim-1"); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("Get after delete: %v, want ErrNotFound", err)
+	}
+	if err := st.Delete("sim-1"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+}
+
+func TestStoreRejectsHostileIDs(t *testing.T) {
+	st := openStore(t, 0, nil)
+	for _, id := range []string{"", "../x", "a/b", `a\b`, ".."} {
+		if err := st.Put(id, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", id)
+		}
+		if _, err := st.Get(id); !errors.Is(err, snapshot.ErrNotFound) {
+			t.Fatalf("Get(%q): %v", id, err)
+		}
+	}
+}
+
+// TestStoreByteCap fills the store past its cap and checks the oldest
+// snapshots go first.
+func TestStoreByteCap(t *testing.T) {
+	st := openStore(t, 25, nil)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := st.Put(id, bytes.Repeat([]byte(id), 10)); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+	}
+	if st.Bytes() > 25 {
+		t.Fatalf("cap not enforced: %d bytes", st.Bytes())
+	}
+	if _, err := st.Get("a"); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("oldest snapshot survived the cap: %v", err)
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, err := st.Get(id); err != nil {
+			t.Fatalf("Get %s after eviction: %v", id, err)
+		}
+	}
+}
+
+// TestStoreReopen verifies accounting (and restorability) survives a
+// process restart, and that leftover temp files from a crash mid-spill
+// are discarded.
+func TestStoreReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	st, err := snapshot.OpenStore(dir, 0, nil)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := st.Put("sim-1", []byte("durable")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Simulate a crash that left a torn temp file behind.
+	if err := (snapshot.OSFS{}).WriteFile(filepath.Join(dir, "sim-2.snap.tmp"), []byte("torn")); err != nil {
+		t.Fatalf("plant temp file: %v", err)
+	}
+
+	st2, err := snapshot.OpenStore(dir, 0, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, err := st2.Get("sim-1"); err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("Get after reopen: %q, %v", got, err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("Len after reopen = %d, want 1 (temp file must not count)", st2.Len())
+	}
+	if _, err := st2.Get("sim-2"); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("torn temp file surfaced as a snapshot: %v", err)
+	}
+}
+
+// TestStoreRetriesTransientWriteFailure injects a failure on the first
+// write attempt only; the retry must succeed without surfacing an
+// error.
+func TestStoreRetriesTransientWriteFailure(t *testing.T) {
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.FailWrites = map[int]bool{1: true}
+	st := openStore(t, 0, ffs)
+	st.SetSleep(func(time.Duration) {})
+	if err := st.Put("sim-1", []byte("retried")); err != nil {
+		t.Fatalf("Put with transient fault: %v", err)
+	}
+	if got, err := st.Get("sim-1"); err != nil || !bytes.Equal(got, []byte("retried")) {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+	if ffs.Writes() != 2 {
+		t.Fatalf("writes = %d, want 2 (one failure, one retry)", ffs.Writes())
+	}
+}
+
+// TestStorePersistentWriteFailure exhausts the retry budget and checks
+// the error surfaces (the web layer degrades to a tombstone on it).
+func TestStorePersistentWriteFailure(t *testing.T) {
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.FailWrites = map[int]bool{1: true, 2: true, 3: true, 4: true}
+	st := openStore(t, 0, ffs)
+	st.SetSleep(func(time.Duration) {})
+	if err := st.Put("sim-1", []byte("doomed")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Put: %v, want ErrInjected", err)
+	}
+	if _, err := st.Get("sim-1"); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("failed Put left state behind: %v", err)
+	}
+}
+
+// TestStoreRenameFailureLeavesNoTornFile fails the publish rename: the
+// previous snapshot (none here) stays authoritative and no torn file
+// becomes visible.
+func TestStoreRenameFailureLeavesNoTornFile(t *testing.T) {
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.FailRenames = true
+	st := openStore(t, 0, ffs)
+	st.SetSleep(func(time.Duration) {})
+	if err := st.Put("sim-1", []byte("torn")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Put: %v, want ErrInjected", err)
+	}
+	if _, err := st.Get("sim-1"); !errors.Is(err, snapshot.ErrNotFound) {
+		t.Fatalf("torn write visible: %v", err)
+	}
+}
+
+// TestStoreFaultyReadsCorruptEnvelope chains the harness's read faults
+// with the envelope decoder: short reads classify as truncation, bit
+// flips as checksum mismatch.
+func TestStoreFaultyReadsCorruptEnvelope(t *testing.T) {
+	blob := snapshot.EncodeSim(&snapshot.Sim{Source: "x", Format: "qasm", State: []byte{1, 2, 3}})
+
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.ShortReads = map[int]bool{1: true}
+	st := openStore(t, 0, ffs)
+	if err := st.Put("sim-1", blob); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data, err := st.Get("sim-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, _, err := snapshot.Decode(data); !errors.Is(err, snapshot.ErrTruncated) {
+		t.Fatalf("short read: %v, want ErrTruncated", err)
+	}
+
+	ffs.FlipBit = 8 * (len(blob) - 10) // a payload byte
+	data, err = st.Get("sim-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, _, err := snapshot.Decode(data); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("bit flip: %v, want ErrChecksum", err)
+	}
+}

@@ -48,6 +48,16 @@ type Config struct {
 	// RequestTimeout bounds each request, including break/end
 	// fast-forward loops, via a context deadline.
 	RequestTimeout time.Duration
+	// SpillDir, when non-empty, enables durable sessions: TTL/LRU
+	// eviction spills the session as a checksummed snapshot into this
+	// directory, and the next request for the id transparently
+	// restores it (see internal/snapshot). Empty disables spilling —
+	// eviction destroys the session as before.
+	SpillDir string
+	// SpillMaxBytes caps the total size of the spill directory; the
+	// oldest snapshots are deleted first when the cap is exceeded.
+	// 0 means unbounded.
+	SpillMaxBytes int64
 	// TraceSpans sets each session's flight-recorder capacity (the
 	// number of completed spans retained for /debug/sessions/{id}/trace
 	// and debug bundles). 0 uses trace.DefaultCapacity; negative

@@ -41,8 +41,34 @@ type serverMetrics struct {
 	evictedTTL      *obs.Counter
 	reaperSweeps    *obs.Counter
 
+	// Durability: spill-to-disk and restore lifecycle (PR 6). Nil-safe
+	// to read — they are registered unconditionally even when spilling
+	// is disabled, so dashboards see stable zero series.
+	simsSpilled           *obs.Counter
+	verifiesSpilled       *obs.Counter
+	simSpillFailures      *obs.Counter
+	verifySpillFailures   *obs.Counter
+	simsRestored          *obs.Counter
+	verifiesRestored      *obs.Counter
+	simRestoreFailures    *obs.Counter
+	verifyRestoreFailures *obs.Counter
+	simCorruptions        *obs.Counter
+	verifyCorruptions     *obs.Counter
+	spillSeconds          *obs.Histogram
+	restoreSeconds        *obs.Histogram
+	spillBytes            *obs.Gauge
+	spillSnapshots        *obs.Gauge
+
 	// Flight-recorder accounting across all sessions.
 	spansDropped *obs.Counter
+}
+
+// corruptions selects the corruption counter for a session kind.
+func (m *serverMetrics) corruptions(kind string) *obs.Counter {
+	if kind == "verify" {
+		return m.verifyCorruptions
+	}
+	return m.simCorruptions
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -76,6 +102,34 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		"Sessions evicted, by reason.", obs.L("reason", "ttl"))
 	m.reaperSweeps = r.Counter("session_reaper_sweeps_total",
 		"Idle-session reaper sweeps completed.")
+	m.simsSpilled = r.Counter("session_spills_total",
+		"Sessions spilled to disk on eviction, by kind.", obs.L("kind", "sim"))
+	m.verifiesSpilled = r.Counter("session_spills_total",
+		"Sessions spilled to disk on eviction, by kind.", obs.L("kind", "verify"))
+	m.simSpillFailures = r.Counter("session_spill_failures_total",
+		"Spill writes that failed after retries (session degraded to tombstone), by kind.", obs.L("kind", "sim"))
+	m.verifySpillFailures = r.Counter("session_spill_failures_total",
+		"Spill writes that failed after retries (session degraded to tombstone), by kind.", obs.L("kind", "verify"))
+	m.simsRestored = r.Counter("session_restores_total",
+		"Sessions transparently restored from the spill store, by kind.", obs.L("kind", "sim"))
+	m.verifiesRestored = r.Counter("session_restores_total",
+		"Sessions transparently restored from the spill store, by kind.", obs.L("kind", "verify"))
+	m.simRestoreFailures = r.Counter("session_restore_failures_total",
+		"Restore attempts that degraded to a tombstone, by kind.", obs.L("kind", "sim"))
+	m.verifyRestoreFailures = r.Counter("session_restore_failures_total",
+		"Restore attempts that degraded to a tombstone, by kind.", obs.L("kind", "verify"))
+	m.simCorruptions = r.Counter("snapshot_corruptions_total",
+		"Snapshots rejected for checksum, truncation, or format damage, by kind.", obs.L("kind", "sim"))
+	m.verifyCorruptions = r.Counter("snapshot_corruptions_total",
+		"Snapshots rejected for checksum, truncation, or format damage, by kind.", obs.L("kind", "verify"))
+	m.spillSeconds = r.Histogram("session_spill_seconds",
+		"Durable spill write latency (encode excluded).", obs.LatencyBuckets)
+	m.restoreSeconds = r.Histogram("session_restore_seconds",
+		"Session restore latency (fetch, decode, rebuild).", obs.LatencyBuckets)
+	m.spillBytes = r.Gauge("spill_store_bytes",
+		"Total bytes in the spill store.")
+	m.spillSnapshots = r.Gauge("spill_store_snapshots",
+		"Snapshots currently in the spill store.")
 	m.spansDropped = r.Counter("trace_spans_dropped_total",
 		"Spans evicted from per-session flight recorders (ring buffer at capacity).")
 	return m
@@ -98,6 +152,10 @@ func (s *Server) collect() {
 	m.verifiesActive.Set(float64(s.verifies.size()))
 	m.simsTombs.Set(float64(s.sims.tombCount()))
 	m.verifiesTombs.Set(float64(s.verifies.tombCount()))
+	if s.spill != nil {
+		m.spillBytes.Set(float64(s.spill.store.Bytes()))
+		m.spillSnapshots.Set(float64(s.spill.store.Len()))
+	}
 
 	// forEach hands idle sessions over with their lock held
 	// (fresh=true): those get a forced PublishStats first, so a scrape

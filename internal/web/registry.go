@@ -47,11 +47,17 @@ type handle[T any] struct {
 // release unlocks the handle; pair with every successful acquire.
 func (h *handle[T]) release() { h.mu.Unlock() }
 
-// markGone flags the handle so in-flight lookups fail with 410. It is
-// called after the handle left the map, never while a map lock is
-// held, so it can wait for a running request to finish.
-func (h *handle[T]) markGone() {
+// evictHandle flags the handle so in-flight lookups fail with 410. It
+// is called after the handle left the map, never while a map lock is
+// held, so it can wait for a running request to finish. While the
+// per-session lock is held — i.e. with exclusive access to the
+// session's state — the eviction hook runs, which is where the spill
+// layer serializes the session before it becomes unreachable.
+func (r *registry[T]) evictHandle(h *handle[T]) {
 	h.mu.Lock()
+	if !h.gone && r.onEvict != nil {
+		r.onEvict(h.id, h.val)
+	}
 	h.gone = true
 	h.mu.Unlock()
 }
@@ -63,6 +69,11 @@ type registry[T any] struct {
 	tombQ   []string
 	maxLive int           // LRU cap on live sessions (0 = unlimited)
 	ttl     time.Duration // idle eviction threshold (0 = never)
+
+	// onEvict, when set, observes every eviction with the per-session
+	// lock held and the session state still intact — the spill hook.
+	// Set once before the registry serves traffic.
+	onEvict func(id string, v T)
 }
 
 func newRegistry[T any](maxLive int, ttl time.Duration) *registry[T] {
@@ -75,7 +86,9 @@ func newRegistry[T any](maxLive int, ttl time.Duration) *registry[T] {
 }
 
 // put registers a new session. When the registry is at its cap, the
-// least recently used session is evicted to make room.
+// least recently used session is evicted to make room. Re-registering
+// an evicted id (a restored session) clears its tombstone, so the id
+// answers requests again instead of 410.
 func (r *registry[T]) put(id string, v T, now time.Time) (evicted string) {
 	r.mu.Lock()
 	var victim *handle[T]
@@ -92,9 +105,13 @@ func (r *registry[T]) put(id string, v T, now time.Time) (evicted string) {
 	h := &handle[T]{id: id, val: v}
 	h.lastAccess.Store(now.UnixNano())
 	r.entries[id] = h
+	// Revive: drop the tombstone but leave the (bounded) queue entry;
+	// a stale queue head at trim time merely forgets another tombstone
+	// a bit early, degrading a 410 into a 404.
+	delete(r.tombs, id)
 	r.mu.Unlock()
 	if victim != nil {
-		victim.markGone()
+		r.evictHandle(victim)
 		return victim.id
 	}
 	return ""
@@ -145,13 +162,13 @@ func (r *registry[T]) reap(now time.Time) []string {
 	}
 	r.mu.Unlock()
 	for _, h := range victims {
-		h.markGone()
+		r.evictHandle(h)
 	}
 	return ids
 }
 
 // dropLocked removes id from the live map and records a tombstone.
-// Caller holds r.mu and must markGone() the handle afterwards.
+// Caller holds r.mu and must evictHandle() the handle afterwards.
 func (r *registry[T]) dropLocked(id string) {
 	delete(r.entries, id)
 	if _, ok := r.tombs[id]; !ok {
@@ -162,6 +179,17 @@ func (r *registry[T]) dropLocked(id string) {
 			r.tombQ = r.tombQ[1:]
 		}
 	}
+}
+
+// tombstone records id as evicted without it being live — used when a
+// restore fails terminally, so subsequent requests get a definitive
+// 410 instead of re-running the failing restore.
+func (r *registry[T]) tombstone(id string) {
+	r.mu.Lock()
+	if _, live := r.entries[id]; !live {
+		r.dropLocked(id)
+	}
+	r.mu.Unlock()
 }
 
 // size reports the number of live sessions.

@@ -147,7 +147,7 @@ func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, err)
 		return
 	}
-	sess := newSimSession(circ, s.cfg.Seed, s.cfg.MaxNodes)
+	sess := newSimSession(circ, req.Code, req.Format, s.cfg.Seed, s.cfg.MaxNodes)
 	// The id is allocated before the recorder so the flight recorder's
 	// track label matches the session id in exported timelines.
 	id := s.newID("sim")
@@ -205,7 +205,7 @@ func (s *Server) writeStepError(w http.ResponseWriter, r *http.Request, sess *si
 }
 
 func (s *Server) handleSimStep(w http.ResponseWriter, r *http.Request) {
-	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireSim(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -315,7 +315,7 @@ type chooseRequest struct {
 }
 
 func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
-	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireSim(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -349,7 +349,7 @@ func (s *Server) handleSimChoose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimGet(w http.ResponseWriter, r *http.Request) {
-	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireSim(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -426,7 +426,7 @@ func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
 // handleSimExport serves the current diagram as a standalone artifact
 // (format=svg or dot) for download from the tool.
 func (s *Server) handleSimExport(w http.ResponseWriter, r *http.Request) {
-	h, err := s.sims.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireSim(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -438,7 +438,7 @@ func (s *Server) handleSimExport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerifyExport(w http.ResponseWriter, r *http.Request) {
-	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireVerify(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -527,7 +527,7 @@ func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, r, http.StatusUnprocessableEntity, codeCircuitTooLarge, fmt.Errorf("right circuit: %w", err))
 		return
 	}
-	sess, err := newVerifySession(left, right, s.cfg.MaxNodes)
+	sess, err := newVerifySession(left, right, req.Left, req.Right, req.Format, s.cfg.MaxNodes)
 	if err != nil {
 		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
@@ -581,7 +581,7 @@ func (s *Server) writeVerifyStepError(w http.ResponseWriter, r *http.Request, se
 }
 
 func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
-	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireVerify(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return
@@ -630,7 +630,7 @@ func (s *Server) handleVerifyStep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerifyGet(w http.ResponseWriter, r *http.Request) {
-	h, err := s.verifies.acquire(r.PathValue("id"), time.Now())
+	h, err := s.acquireVerify(r, r.PathValue("id"), time.Now())
 	if err != nil {
 		s.sessionErr(w, r, err)
 		return

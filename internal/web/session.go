@@ -22,6 +22,7 @@ import (
 	"quantumdd/internal/qc"
 	"quantumdd/internal/realfmt"
 	"quantumdd/internal/sim"
+	"quantumdd/internal/snapshot"
 	"quantumdd/internal/verify"
 	"quantumdd/internal/vis"
 )
@@ -62,6 +63,15 @@ type PendingChoice struct {
 type simSession struct {
 	sim    *sim.Simulator
 	forced *int // outcome for the next dialog-requiring op
+	// src and format retain the session's original circuit input
+	// verbatim. Spill snapshots persist the source text rather than a
+	// re-rendering of the parsed circuit, because rendering is lossy
+	// (negative controls are conjugated with X pairs, unsupported ops
+	// become comments); restore re-parses the exact bytes the user
+	// submitted.
+	src    string
+	format string
+	seed   int64
 	// rec is the session's flight recorder (nil when tracing is
 	// disabled). Assigned once before the session is published to the
 	// registry; its Snapshot side is safe from any goroutine.
@@ -70,9 +80,10 @@ type simSession struct {
 
 const superpositionEps = 1e-12
 
-func newSimSession(circ *qc.Circuit, seed int64, maxNodes int) *simSession {
-	s := &simSession{}
-	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(func(op *qc.Op, q int, p0, p1 float64) int {
+// chooser returns the dialog-protocol outcome chooser bound to this
+// session; shared by the fresh and restored constructors.
+func (s *simSession) chooser() sim.OutcomeChooser {
+	return func(op *qc.Op, q int, p0, p1 float64) int {
 		// The server only steps after a choice is registered, so a
 		// missing choice is a protocol violation handled in pending().
 		if s.forced == nil {
@@ -81,8 +92,47 @@ func newSimSession(circ *qc.Circuit, seed int64, maxNodes int) *simSession {
 		out := *s.forced
 		s.forced = nil
 		return out
-	}))
+	}
+}
+
+func newSimSession(circ *qc.Circuit, src, format string, seed int64, maxNodes int) *simSession {
+	s := &simSession{src: src, format: format, seed: seed}
+	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(s.chooser()))
 	return s
+}
+
+// snapshot serializes the session for spill-to-disk. Called with the
+// per-session lock held (exclusive access), so the reads are
+// consistent. The step history is not persisted; a restored session
+// cannot step backward past the restore point.
+func (s *simSession) snapshot() []byte {
+	return snapshot.EncodeSim(&snapshot.Sim{
+		Source:    s.src,
+		Format:    s.format,
+		Seed:      s.seed,
+		Pos:       s.sim.Pos(),
+		Classical: s.sim.Classical(),
+		PeakNodes: s.sim.PeakNodes(),
+		State:     s.sim.Pkg().AppendVectorBinary(nil, s.sim.State()),
+	})
+}
+
+// resumeSimSession rebuilds a session from its durable form: re-parse
+// the original source, decode the DD state bit-exactly under the node
+// budget, and resume the simulator at the stored position.
+func resumeSimSession(snap *snapshot.Sim, maxNodes int) (*simSession, error) {
+	circ, err := ParseCircuit(snap.Source, snap.Format)
+	if err != nil {
+		return nil, fmt.Errorf("web: restore: circuit no longer parses: %w", err)
+	}
+	s := &simSession{src: snap.Source, format: snap.Format, seed: snap.Seed}
+	s.sim, err = sim.Resume(circ, snap.Pos, snap.Classical, snap.PeakNodes,
+		func(p *dd.Pkg) (dd.VEdge, error) { return p.DecodeVectorBinary(snap.State) },
+		sim.WithSeed(snap.Seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(s.chooser()))
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // pending reports whether the next op needs a dialog choice.
@@ -127,6 +177,10 @@ type verifySession struct {
 	left  *qc.Circuit
 	right *qc.Circuit
 	x     dd.MEdge
+	// Original source inputs, retained verbatim for spill snapshots
+	// (same lossy-rendering rationale as simSession).
+	leftSrc, rightSrc string
+	format            string
 	// positions index into the circuits' op lists (barriers are
 	// skipped transparently but delimit RunToBarrier).
 	li, ri  int
@@ -139,7 +193,7 @@ type verifySnapshot struct {
 	li, ri int
 }
 
-func newVerifySession(left, right *qc.Circuit, maxNodes int) (*verifySession, error) {
+func newVerifySession(left, right *qc.Circuit, leftSrc, rightSrc, format string, maxNodes int) (*verifySession, error) {
 	if left.NQubits != right.NQubits {
 		return nil, fmt.Errorf("web: circuits must have the same number of qubits (%d vs %d)", left.NQubits, right.NQubits)
 	}
@@ -148,8 +202,59 @@ func newVerifySession(left, right *qc.Circuit, maxNodes int) (*verifySession, er
 	}
 	p := dd.New(left.NQubits)
 	p.SetMaxNodes(maxNodes)
-	v := &verifySession{pkg: p, left: left, right: right, x: p.Ident()}
+	v := &verifySession{
+		pkg: p, left: left, right: right,
+		leftSrc: leftSrc, rightSrc: rightSrc, format: format,
+		x: p.Ident(),
+	}
 	v.pkg.IncRefM(v.x)
+	return v, nil
+}
+
+// snapshot serializes the session for spill-to-disk; called with the
+// per-session lock held. The undo history is not persisted.
+func (v *verifySession) snapshot() []byte {
+	return snapshot.EncodeVerify(&snapshot.Verify{
+		LeftSource:  v.leftSrc,
+		LeftFormat:  v.format,
+		RightSource: v.rightSrc,
+		RightFormat: v.format,
+		LI:          v.li,
+		RI:          v.ri,
+		X:           v.pkg.AppendMatrixBinary(nil, v.x),
+	})
+}
+
+// resumeVerifySession rebuilds a verification session from its durable
+// form, validating the stored positions against the re-parsed circuits
+// and decoding the matrix diagram bit-exactly under the node budget.
+func resumeVerifySession(snap *snapshot.Verify, maxNodes int) (*verifySession, error) {
+	left, err := ParseCircuit(snap.LeftSource, snap.LeftFormat)
+	if err != nil {
+		return nil, fmt.Errorf("web: restore: left circuit no longer parses: %w", err)
+	}
+	right, err := ParseCircuit(snap.RightSource, snap.RightFormat)
+	if err != nil {
+		return nil, fmt.Errorf("web: restore: right circuit no longer parses: %w", err)
+	}
+	v, err := newVerifySession(left, right, snap.LeftSource, snap.RightSource, snap.LeftFormat, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if snap.LI < 0 || snap.LI > len(left.Ops) || snap.RI < 0 || snap.RI > len(right.Ops) {
+		return nil, fmt.Errorf("web: restore: positions %d/%d out of range", snap.LI, snap.RI)
+	}
+	x, err := v.pkg.DecodeMatrixBinary(snap.X)
+	if err != nil {
+		return nil, err
+	}
+	if x.IsZero() {
+		return nil, errors.New("web: restore: zero verification diagram")
+	}
+	v.pkg.IncRefM(x)
+	v.pkg.DecRefM(v.x)
+	v.x = x
+	v.li, v.ri = snap.LI, snap.RI
 	return v, nil
 }
 
@@ -316,7 +421,12 @@ type Server struct {
 	sims     *registry[*simSession]
 	verifies *registry[*verifySession]
 
+	// Durability layer: nil when Config.SpillDir is empty.
+	spill    *spiller
+	restores restoreFlight
+
 	reaperStop chan struct{}
+	reaperDone chan struct{}
 	closeOnce  sync.Once
 }
 
@@ -331,6 +441,10 @@ func NewServer(seed int64) *Server {
 // NewServerWithConfig creates a session store with explicit limits
 // (zero values disable the corresponding limit). When SessionTTL is
 // set, a background reaper evicts idle sessions until Close is called.
+// When SpillDir is set, evictions spill sessions to disk and requests
+// for evicted ids transparently restore them; if the spill directory
+// cannot be opened, the server starts degraded (no durability) rather
+// than not at all.
 func NewServerWithConfig(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
@@ -339,25 +453,53 @@ func NewServerWithConfig(cfg Config) *Server {
 		sims:     newRegistry[*simSession](cfg.MaxSessions, cfg.SessionTTL),
 		verifies: newRegistry[*verifySession](cfg.MaxSessions, cfg.SessionTTL),
 	}
+	if cfg.SpillDir != "" {
+		store, err := snapshot.OpenStore(cfg.SpillDir, cfg.SpillMaxBytes, nil)
+		if err != nil {
+			s.logger.Warn("spill store unavailable; sessions will not survive eviction",
+				"component", "spill", "dir", cfg.SpillDir, "error", err)
+		} else {
+			s.spill = newSpiller(store, s.logger, s.metrics)
+			s.sims.onEvict = s.spillSim
+			s.verifies.onEvict = s.spillVerify
+		}
+	}
 	if cfg.SessionTTL > 0 {
 		s.reaperStop = make(chan struct{})
+		s.reaperDone = make(chan struct{})
 		go s.reaper()
 	}
 	return s
 }
 
-// Close stops the background reaper. Sessions are dropped with the
-// server itself; Close is idempotent.
+// SpillStore exposes the spill store (nil when disabled) for tests and
+// embedding callers.
+func (s *Server) SpillStore() *snapshot.Store {
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.store
+}
+
+// Close stops the background reaper — waiting until it has fully
+// exited, so no sweep races the shutdown — and flushes in-flight spill
+// writes so no session promised to disk is lost. Sessions are dropped
+// with the server itself; Close is idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.reaperStop != nil {
 			close(s.reaperStop)
+			<-s.reaperDone
+		}
+		if s.spill != nil {
+			s.spill.flush()
 		}
 	})
 }
 
 // reaper periodically evicts sessions idle past the TTL.
 func (s *Server) reaper() {
+	defer close(s.reaperDone)
 	interval := s.cfg.SessionTTL / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond

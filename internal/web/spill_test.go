@@ -1,0 +1,393 @@
+package web
+
+// Durability tests: eviction spills sessions to disk, requests restore
+// them transparently and bit-identically, and every injected fault
+// degrades to the pre-spill 410 behavior — never a crash, never wrong
+// state.
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/obs"
+	"quantumdd/internal/snapshot"
+	"quantumdd/internal/snapshot/faultfs"
+)
+
+// newSpillTestServer builds a server with spilling enabled into a
+// temporary directory and a private metrics registry.
+func newSpillTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.Metrics = obs.NewRegistry()
+	cfg.SpillDir = t.TempDir()
+	cfg.SessionTTL = time.Minute
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ws := NewServerWithConfig(cfg)
+	t.Cleanup(ws.Close)
+	srv := httptest.NewServer(ws.Handler())
+	t.Cleanup(srv.Close)
+	return ws, srv
+}
+
+// evictAll fakes the passage of time past the TTL and runs one reaper
+// sweep, then waits for the background spill writes to land on disk.
+func evictAll(t *testing.T, ws *Server) {
+	t.Helper()
+	if n := ws.reapIdle(time.Now().Add(ws.cfg.SessionTTL + time.Minute)); n == 0 {
+		t.Fatal("reap evicted nothing")
+	}
+	ws.spill.flush()
+}
+
+// sessionSnapshot re-encodes a live session's durable form; byte
+// equality of two snapshots proves the DD root edges (weights and
+// full node structure), position and classical state all match.
+func sessionSnapshot(t *testing.T, ws *Server, id string) []byte {
+	t.Helper()
+	h, err := ws.sims.acquire(id, time.Now())
+	if err != nil {
+		t.Fatalf("acquire %s: %v", id, err)
+	}
+	defer h.release()
+	return h.val.snapshot()
+}
+
+func TestSpillEvictRestoreSimBitIdentical(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.GHZ(3).QASM()}, &created)
+	var stepped stepResponse
+	post(t, srv, "/api/simulation/"+created.ID+"/step", stepRequest{Action: "forward"}, &stepped)
+	post(t, srv, "/api/simulation/"+created.ID+"/step", stepRequest{Action: "forward"}, &stepped)
+	before := sessionSnapshot(t, ws, created.ID)
+
+	evictAll(t, ws)
+	if got := ws.SpillStore().Len(); got != 1 {
+		t.Fatalf("spill store holds %d snapshots after eviction, want 1", got)
+	}
+	if got := ws.metrics.simsSpilled.Value(); got != 1 {
+		t.Fatalf("session_spills_total{kind=sim} = %d, want 1", got)
+	}
+
+	// The next request transparently restores: no 410, same state.
+	var restored stepResponse
+	resp := get(t, srv, "/api/simulation/"+created.ID, &restored)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after eviction: status %d, want 200 (transparent restore)", resp.StatusCode)
+	}
+	if restored.Frame.SVG == "" || !strings.Contains(restored.Frame.SVG, "<svg") {
+		t.Fatal("restored session rendered no SVG frame")
+	}
+	after := sessionSnapshot(t, ws, created.ID)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restored session is not bit-identical: snapshot %d bytes vs %d bytes", len(before), len(after))
+	}
+	if got := ws.metrics.simsRestored.Value(); got != 1 {
+		t.Fatalf("session_restores_total{kind=sim} = %d, want 1", got)
+	}
+	// The consumed snapshot is stale the moment the session lives again.
+	if got := ws.SpillStore().Len(); got != 0 {
+		t.Fatalf("spill store holds %d snapshots after restore, want 0", got)
+	}
+
+	// The restored session keeps working: run it to the end.
+	post(t, srv, "/api/simulation/"+created.ID+"/step", stepRequest{Action: "end"}, &stepped)
+	if !stepped.AtEnd {
+		t.Fatal("restored session did not run to the end")
+	}
+}
+
+func TestSpillEvictRestoreVerify(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+	qasm := algorithms.GHZ(2).QASM()
+
+	var created newResp
+	post(t, srv, "/api/verification", newVerifyRequest{Left: qasm, Right: qasm}, &created)
+	post(t, srv, "/api/verification/"+created.ID+"/step", verifyStepRequest{Action: "forward", Side: "left"}, nil)
+
+	h, err := ws.verifies.acquire(created.ID, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.val.snapshot()
+	h.release()
+
+	evictAll(t, ws)
+	resp := get(t, srv, "/api/verification/"+created.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after eviction: status %d, want 200", resp.StatusCode)
+	}
+	h, err = ws.verifies.acquire(created.ID, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := h.val.snapshot()
+	h.release()
+	if !bytes.Equal(before, after) {
+		t.Fatal("restored verification session is not bit-identical")
+	}
+	if got := ws.metrics.verifiesRestored.Value(); got != 1 {
+		t.Fatalf("session_restores_total{kind=verify} = %d, want 1", got)
+	}
+}
+
+// TestRestoreSurvivesRestart proves the errSessionUnknown restore path:
+// a fresh server over the same spill directory has an empty registry
+// (no tombstones either) but still restores the session.
+func TestRestoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.Metrics = obs.NewRegistry()
+	cfg.SpillDir = dir
+	cfg.SessionTTL = time.Minute
+
+	ws1 := NewServerWithConfig(cfg)
+	srv1 := httptest.NewServer(ws1.Handler())
+	var created newResp
+	post(t, srv1, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+	post(t, srv1, "/api/simulation/"+created.ID+"/step", stepRequest{Action: "forward"}, nil)
+	before := sessionSnapshot(t, ws1, created.ID)
+	evictAll(t, ws1)
+	srv1.Close()
+	ws1.Close()
+
+	cfg.Metrics = obs.NewRegistry()
+	ws2 := NewServerWithConfig(cfg)
+	t.Cleanup(ws2.Close)
+	srv2 := httptest.NewServer(ws2.Handler())
+	t.Cleanup(srv2.Close)
+	resp := get(t, srv2, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET on restarted server: status %d, want 200", resp.StatusCode)
+	}
+	after := sessionSnapshot(t, ws2, created.ID)
+	if !bytes.Equal(before, after) {
+		t.Fatal("session restored across restart is not bit-identical")
+	}
+}
+
+// TestCorruptSnapshotDegradesToGone flips one bit of the on-disk
+// snapshot: the restore must reject it (checksum), count the
+// corruption, log a structured warning carrying the request id, leave
+// a definitive tombstone — and never crash or serve wrong state.
+func TestCorruptSnapshotDegradesToGone(t *testing.T) {
+	var logBuf bytes.Buffer
+	ws, srv := newSpillTestServer(t, func(cfg *Config) {
+		cfg.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
+	})
+
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.GHZ(3).QASM()}, &created)
+	evictAll(t, ws)
+
+	snaps, err := filepath.Glob(filepath.Join(ws.cfg.SpillDir, "*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files on disk: %v (err %v)", snaps, err)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("GET with corrupt snapshot: status %d, want 410", resp.StatusCode)
+	}
+	if got := ws.metrics.simCorruptions.Value(); got != 1 {
+		t.Fatalf("snapshot_corruptions_total{kind=sim} = %d, want 1", got)
+	}
+	if got := ws.metrics.simRestoreFailures.Value(); got != 1 {
+		t.Fatalf("session_restore_failures_total{kind=sim} = %d, want 1", got)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "degraded to tombstone") || !strings.Contains(logs, "requestId=") {
+		t.Fatalf("degraded path did not log a structured warning with request id:\n%s", logs)
+	}
+
+	// The unusable snapshot was discarded and the id tombstoned: a
+	// second request answers 410 immediately without re-counting.
+	resp = get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("second GET: status %d, want 410", resp.StatusCode)
+	}
+	if got := ws.metrics.simCorruptions.Value(); got != 1 {
+		t.Fatalf("corruption counted twice: %d", got)
+	}
+
+	// And the server still serves fresh sessions.
+	var again newResp
+	resp = post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &again)
+	if resp.StatusCode != http.StatusOK || again.ID == "" {
+		t.Fatalf("server unhealthy after corruption: status %d", resp.StatusCode)
+	}
+}
+
+// TestTruncatedSnapshotDegradesToGone injects a short read through the
+// fault harness: restore sees a truncated envelope and degrades.
+func TestTruncatedSnapshotDegradesToGone(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+	evictAll(t, ws)
+
+	// Re-open the same directory through a fault-injecting filesystem
+	// whose first read comes back short.
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.ShortReads = map[int]bool{1: true}
+	st, err := snapshot.OpenStore(ws.cfg.SpillDir, 0, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.spill.store = st
+
+	resp := get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("GET with short read: status %d, want 410", resp.StatusCode)
+	}
+	if got := ws.metrics.simCorruptions.Value(); got != 1 {
+		t.Fatalf("snapshot_corruptions_total{kind=sim} = %d, want 1", got)
+	}
+}
+
+// TestSpillWriteFailureDegradesToTombstone injects persistent write
+// failures: eviction falls back to the plain tombstone, the failure is
+// counted, and the server keeps running.
+func TestSpillWriteFailureDegradesToTombstone(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.FailWrites = map[int]bool{1: true, 2: true, 3: true}
+	st, err := snapshot.OpenStore(ws.cfg.SpillDir, 0, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.spill.store = st
+
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+	evictAll(t, ws)
+
+	if got := ws.metrics.simSpillFailures.Value(); got != 1 {
+		t.Fatalf("session_spill_failures_total{kind=sim} = %d, want 1", got)
+	}
+	resp := get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("GET after failed spill: status %d, want 410", resp.StatusCode)
+	}
+}
+
+// TestSpillDirUnavailableStartsDegraded points SpillDir at a regular
+// file: the server must start anyway, with durability off and the
+// classic evict-to-410 behavior intact.
+func TestSpillDirUnavailableStartsDegraded(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, srv := newSpillTestServer(t, func(cfg *Config) {
+		cfg.SpillDir = blocker
+	})
+	if ws.spillEnabled() {
+		t.Fatal("spill enabled despite unusable directory")
+	}
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+	if n := ws.reapIdle(time.Now().Add(ws.cfg.SessionTTL + time.Minute)); n != 1 {
+		t.Fatalf("reaped %d, want 1", n)
+	}
+	resp := get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("GET after eviction without spill: status %d, want 410", resp.StatusCode)
+	}
+}
+
+// TestPendingRestoreBeforeWriteCompletes restores from the pending map:
+// a request arriving between eviction and the durable write landing
+// must still find the snapshot.
+func TestPendingRestoreBeforeWriteCompletes(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+
+	// Slow the durable write down far past the restore below by
+	// injecting transient write failures (each attempt backs off).
+	ffs := faultfs.New(snapshot.OSFS{})
+	ffs.FailWrites = map[int]bool{1: true, 2: true}
+	st, err := snapshot.OpenStore(ws.cfg.SpillDir, 0, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.spill.store = st
+
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+	before := sessionSnapshot(t, ws, created.ID)
+	if n := ws.reapIdle(time.Now().Add(ws.cfg.SessionTTL + time.Minute)); n != 1 {
+		t.Fatalf("reaped %d, want 1", n)
+	}
+	// No flush: race the background write.
+	resp := get(t, srv, "/api/simulation/"+created.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET racing the spill write: status %d, want 200", resp.StatusCode)
+	}
+	after := sessionSnapshot(t, ws, created.ID)
+	if !bytes.Equal(before, after) {
+		t.Fatal("pending-map restore is not bit-identical")
+	}
+	ws.spill.flush()
+}
+
+// TestCloseStopsAllGoroutines is the shutdown leak check: servers with
+// reaper and in-flight spill writes must leave no goroutines behind.
+func TestCloseStopsAllGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		cfg := DefaultConfig()
+		cfg.Metrics = obs.NewRegistry()
+		cfg.SpillDir = t.TempDir()
+		cfg.SessionTTL = time.Minute
+		ws := NewServerWithConfig(cfg)
+		circ := algorithms.GHZ(3)
+		sess := newSimSession(circ, circ.QASM(), "", 1, cfg.MaxNodes)
+		ws.instrument(sess.sim.Pkg(), nil)
+		ws.sims.put("leakcheck", sess, time.Now())
+		ws.reapIdle(time.Now().Add(cfg.SessionTTL + time.Minute))
+		// Close must wait for the reaper AND flush the spill write that
+		// the eviction just scheduled.
+		ws.Close()
+		if got := ws.SpillStore().Len(); got != 1 {
+			t.Fatalf("iteration %d: Close lost the in-flight spill (store has %d)", i, got)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
