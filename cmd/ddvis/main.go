@@ -14,6 +14,7 @@
 //	      [-max-qubits 24] [-max-ops 4096]
 //	      [-max-nodes 250000] [-max-body-bytes 1048576]
 //	      [-session-ttl 30m] [-max-sessions 256] [-request-timeout 15s]
+//	      [-noisy-workers 0]
 //	      [-trace-spans 1024] [-spill-dir /var/lib/ddvis/spill]
 //	      [-spill-max-bytes 67108864]
 //
@@ -59,6 +60,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", def.SessionTTL, "evict sessions idle longer than this (0 = never)")
 	maxSessions := flag.Int("max-sessions", def.MaxSessions, "LRU cap on live sessions per kind (0 = unlimited)")
 	reqTimeout := flag.Duration("request-timeout", def.RequestTimeout, "per-request deadline, bounds fast-forward loops (0 = none)")
+	noisyWorkers := flag.Int("noisy-workers", def.NoisyWorkers, "trajectory pool width for /api/noisy ensembles (0 = GOMAXPROCS, 1 = sequential; results are bit-identical either way)")
 	traceSpans := flag.Int("trace-spans", def.TraceSpans, "per-session flight-recorder capacity in spans (0 = default, negative = disable tracing)")
 	spillDir := flag.String("spill-dir", "", "directory for durable session snapshots; evicted sessions spill here and are transparently restored on their next request (empty = disabled)")
 	spillMaxBytes := flag.Int64("spill-max-bytes", 0, "byte cap on the spill directory, oldest snapshots evicted first (0 = unbounded)")
@@ -74,6 +76,7 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *reqTimeout,
+		NoisyWorkers:   *noisyWorkers,
 		SpillDir:       *spillDir,
 		SpillMaxBytes:  *spillMaxBytes,
 		TraceSpans:     *traceSpans,

@@ -64,6 +64,8 @@ func All() []Experiment {
 			Paper: "identity-skipping descent beats the generic multiply on the hot path", Run: runK1},
 		{ID: "K2", Title: "Kernel: peephole gate fusion on rotation runs",
 			Paper: "folding rz·ry·rz runs into one 2×2 apply preserves the state", Run: runK2},
+		{ID: "N1", Title: "Parallel trajectories: sharded replica pool vs sequential",
+			Paper: "one-simulation-per-shot sampling is embarrassingly parallel; results stay bit-identical", Run: runN1},
 	}
 }
 
@@ -94,6 +96,10 @@ func RunAll(w io.Writer) (map[string]Summary, error) {
 	}
 	return out, nil
 }
+
+// PrintSummary writes the one-line machine-parsable "summary:" form
+// of s to w — the line the CI smoke guards grep their metrics from.
+func PrintSummary(w io.Writer, s Summary) { printSummary(w, s) }
 
 func printSummary(w io.Writer, s Summary) {
 	keys := make([]string, 0, len(s))

@@ -1,0 +1,78 @@
+package bench
+
+// Parallel trajectory study (PR 7): throughput of the sharded replica
+// pool against the sequential path on the same Monte-Carlo ensemble,
+// plus the determinism cross-check that makes the comparison honest —
+// both runs must produce the bit-identical NoisyResult.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/sim"
+)
+
+// runN1 times one noisy GHZ ensemble sequentially (workers=1) and on
+// the full pool (workers=GOMAXPROCS), verifies the results are
+// bit-identical, and reports trajectories/second for both. The
+// speedup_par figure is the CI smoke guard: a 2-core runner must see
+// ≥1.5x; on a single-core machine the pool collapses to one worker
+// and the ratio is ~1 by construction, so the hard failure conditions
+// are only a determinism break or a pathological parallel slowdown.
+func runN1(w io.Writer) (Summary, error) {
+	circ := algorithms.GHZ(14)
+	model := sim.NoiseModel{Depolarizing: 0.02}
+	const trajectories = 400
+	const seed = 7
+	workers := runtime.GOMAXPROCS(0)
+
+	var seq, par *sim.NoisyResult
+	seqT := timeIt(func() {
+		r, err := sim.RunNoisy(circ, model, trajectories, seed, sim.WithWorkers(1))
+		if err != nil {
+			panic(err)
+		}
+		seq = r
+	})
+	parT := timeIt(func() {
+		r, err := sim.RunNoisy(circ, model, trajectories, seed, sim.WithWorkers(workers))
+		if err != nil {
+			panic(err)
+		}
+		par = r
+	})
+
+	// Determinism first: the parallel run must be the same ensemble.
+	if par.Trajectories != seq.Trajectories || par.ErrorEvents != seq.ErrorEvents ||
+		par.MeanNodes != seq.MeanNodes || len(par.Counts) != len(seq.Counts) {
+		return nil, fmt.Errorf("parallel result diverges from sequential: %+v vs %+v", par, seq)
+	}
+	for k, v := range seq.Counts {
+		if par.Counts[k] != v {
+			return nil, fmt.Errorf("counts[%d]: parallel %d vs sequential %d", k, par.Counts[k], v)
+		}
+	}
+
+	perSec := func(d time.Duration) float64 {
+		return float64(trajectories) / d.Seconds()
+	}
+	speedup := float64(seqT) / float64(parT)
+	fmt.Fprintf(w, "%-22s %8s %14s %14s\n", "scenario", "workers", "wall", "traj/s")
+	fmt.Fprintf(w, "%-22s %8d %14s %14.1f\n", "ghz14-depol0.02-seq", 1, seqT, perSec(seqT))
+	fmt.Fprintf(w, "%-22s %8d %14s %14.1f\n", "ghz14-depol0.02-par", par.Workers, parT, perSec(parT))
+	fmt.Fprintf(w, "parallel speedup %.2fx on %d workers; results bit-identical\n", speedup, par.Workers)
+
+	if par.Workers > 1 && speedup < 0.5 {
+		return nil, fmt.Errorf("pathological parallel slowdown: %.2fx on %d workers", speedup, par.Workers)
+	}
+	return Summary{
+		"workers":        float64(par.Workers),
+		"trajectories":   float64(trajectories),
+		"seq_traj_per_s": perSec(seqT),
+		"par_traj_per_s": perSec(parT),
+		"speedup_par":    speedup,
+	}, nil
+}

@@ -47,10 +47,12 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		fmt.Fprintf(stdout, "=== %s: %s ===\npaper: %s\n", e.ID, e.Title, e.Paper)
-		if _, err := e.Run(stdout); err != nil {
+		s, err := e.Run(stdout)
+		if err != nil {
 			fmt.Fprintln(stderr, "ddbench:", err)
 			return 1
 		}
+		bench.PrintSummary(stdout, s)
 		return 0
 	}
 	if _, err := bench.RunAll(stdout); err != nil {

@@ -35,6 +35,7 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "", "input format: qasm, real, or auto")
 	noise := fs.Float64("noise", 0, "depolarizing noise probability per gate operand (enables trajectory mode)")
 	trajectories := fs.Int("trajectories", 1000, "Monte-Carlo trajectories in noise mode")
+	workers := fs.Int("workers", 0, "trajectory pool width in noise mode (0 = GOMAXPROCS, 1 = sequential; results are bit-identical)")
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engine after the run")
 	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
 	if err := fs.Parse(args); err != nil {
@@ -63,21 +64,21 @@ func RunDdsim(args []string, stdout, stderr io.Writer) int {
 		defer to.finish(stderr)
 	}
 	if *noise > 0 {
-		return runDdsimNoisy(circ, *noise, *trajectories, *seed, stdout, stderr)
+		return runDdsimNoisy(circ, *noise, *trajectories, *workers, *seed, stdout, stderr)
 	}
 	return runDdsimOn(to.context(), circ, *seed, *shots, *amplitudes, *trace, *stats, *draw, md, stdout, stderr)
 }
 
 // runDdsimNoisy aggregates Monte-Carlo trajectories under depolarizing
-// noise and prints the resulting distribution.
-func runDdsimNoisy(circ *qc.Circuit, p float64, trajectories int, seed int64, stdout, stderr io.Writer) int {
-	res, err := sim.RunNoisy(circ, sim.NoiseModel{Depolarizing: p}, trajectories, seed)
+// noise on the replica pool and prints the resulting distribution.
+func runDdsimNoisy(circ *qc.Circuit, p float64, trajectories, workers int, seed int64, stdout, stderr io.Writer) int {
+	res, err := sim.RunNoisy(circ, sim.NoiseModel{Depolarizing: p}, trajectories, seed, sim.WithWorkers(workers))
 	if err != nil {
 		fmt.Fprintln(stderr, "ddsim:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "noisy simulation: %d trajectories, depolarizing p=%g, %d error events, mean %d-qubit DD %.1f nodes\n",
-		res.Trajectories, p, res.ErrorEvents, circ.NQubits, res.MeanNodes)
+	fmt.Fprintf(stdout, "noisy simulation: %d trajectories on %d workers, depolarizing p=%g, %d error events, mean %d-qubit DD %.1f nodes\n",
+		res.Trajectories, res.Workers, p, res.ErrorEvents, circ.NQubits, res.MeanNodes)
 	type kv struct {
 		idx int64
 		n   int

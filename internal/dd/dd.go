@@ -211,6 +211,38 @@ type Stats struct {
 	LiveNodes   int     // nodes currently in the unique tables
 }
 
+// Add returns the field-wise sum of s and b, for building aggregates
+// over several packages' snapshots (replica pools, fleet metrics).
+// Every field sums, including the load factors — callers wanting a
+// mean load divide by the package count afterwards.
+func (s Stats) Add(b Stats) Stats {
+	s.NodesCreatedV += b.NodesCreatedV
+	s.NodesCreatedM += b.NodesCreatedM
+	s.UniqueHitsV += b.UniqueHitsV
+	s.UniqueHitsM += b.UniqueHitsM
+	s.CacheLookups += b.CacheLookups
+	s.CacheHits += b.CacheHits
+	s.GCRuns += b.GCRuns
+	s.NodesFreed += b.NodesFreed
+	s.GCPauseNS += b.GCPauseNS
+	s.NodesRecycledV += b.NodesRecycledV
+	s.NodesRecycledM += b.NodesRecycledM
+	s.UTCollisions += b.UTCollisions
+	s.CTStores += b.CTStores
+	s.CTEvictions += b.CTEvictions
+	s.ApplyCTLookups += b.ApplyCTLookups
+	s.ApplyCTHits += b.ApplyCTHits
+	s.ApplyCTEvictions += b.ApplyCTEvictions
+	s.GatesFused += b.GatesFused
+	s.GateDDCacheHits += b.GateDDCacheHits
+	s.UniqueLoadV += b.UniqueLoadV
+	s.UniqueLoadM += b.UniqueLoadM
+	s.FreeNodesV += b.FreeNodesV
+	s.FreeNodesM += b.FreeNodesM
+	s.LiveNodes += b.LiveNodes
+	return s
+}
+
 // NormScheme selects how vector nodes are normalized. Both schemes
 // yield canonical diagrams; they differ in what the edge weights mean.
 type NormScheme int

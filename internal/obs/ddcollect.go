@@ -132,33 +132,7 @@ func (c *DDCollector) Record(st dd.Stats) {
 }
 
 // AddStats accumulates b into a for building fleet-wide aggregates
-// over several packages' snapshots. Load factors are averaged at the
-// end by Record callers dividing by the package count — here they are
-// summed; divide before recording if a mean is wanted.
-func AddStats(a, b dd.Stats) dd.Stats {
-	a.NodesCreatedV += b.NodesCreatedV
-	a.NodesCreatedM += b.NodesCreatedM
-	a.UniqueHitsV += b.UniqueHitsV
-	a.UniqueHitsM += b.UniqueHitsM
-	a.CacheLookups += b.CacheLookups
-	a.CacheHits += b.CacheHits
-	a.GCRuns += b.GCRuns
-	a.NodesFreed += b.NodesFreed
-	a.GCPauseNS += b.GCPauseNS
-	a.NodesRecycledV += b.NodesRecycledV
-	a.NodesRecycledM += b.NodesRecycledM
-	a.UTCollisions += b.UTCollisions
-	a.CTStores += b.CTStores
-	a.CTEvictions += b.CTEvictions
-	a.ApplyCTLookups += b.ApplyCTLookups
-	a.ApplyCTHits += b.ApplyCTHits
-	a.ApplyCTEvictions += b.ApplyCTEvictions
-	a.GatesFused += b.GatesFused
-	a.GateDDCacheHits += b.GateDDCacheHits
-	a.UniqueLoadV += b.UniqueLoadV
-	a.UniqueLoadM += b.UniqueLoadM
-	a.FreeNodesV += b.FreeNodesV
-	a.FreeNodesM += b.FreeNodesM
-	a.LiveNodes += b.LiveNodes
-	return a
-}
+// over several packages' snapshots. It is dd.Stats.Add under the name
+// existing callers use. Load factors are summed; divide by the
+// package count before recording if a mean is wanted.
+func AddStats(a, b dd.Stats) dd.Stats { return a.Add(b) }

@@ -7,6 +7,7 @@ package sim
 // without density matrices (each trajectory stays a cheap vector DD).
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -42,15 +43,30 @@ func (m NoiseModel) validate() error {
 	return nil
 }
 
-// NoisyResult aggregates a trajectory ensemble.
+// NoisyResult aggregates a trajectory ensemble. For a fixed ensemble
+// seed it is bit-identical across worker counts and scheduling orders
+// (see pool.go).
 type NoisyResult struct {
+	// Trajectories counts the trajectories that ran to completion;
+	// it equals Requested unless budget exhaustion or cancellation
+	// trimmed the ensemble (see Failed and IsPartial).
 	Trajectories int
+	// Requested is the ensemble size the caller asked for.
+	Requested int
+	// Failed counts trajectories aborted by the node budget or by
+	// context cancellation; their samples and error events are not
+	// part of the aggregate.
+	Failed int
+	// Workers is the pool width the ensemble actually used.
+	Workers int
 	// Counts tallies the sampled basis state of the full register at
-	// the end of each trajectory.
+	// the end of each completed trajectory.
 	Counts map[int64]int
-	// ErrorEvents counts the Pauli errors injected across the run.
+	// ErrorEvents counts the Pauli errors injected across the
+	// completed trajectories.
 	ErrorEvents int
-	// MeanNodes is the average final diagram size per trajectory.
+	// MeanNodes is the average final diagram size per completed
+	// trajectory (0 when none completed).
 	MeanNodes float64
 }
 
@@ -59,49 +75,17 @@ type NoisyResult struct {
 // circuit are sampled per trajectory (no dialogs). Extra options apply
 // to every trajectory simulator (e.g. WithMaxNodes); fusion is forced
 // off because errors are injected per original gate op.
+//
+// Trajectories are fanned out over a pool of independent DD engine
+// replicas (WithWorkers; default GOMAXPROCS). Each trajectory's
+// random stream derives from (seed, trajectoryIndex) via a
+// counter-based mixer, so the result is bit-identical for every
+// worker count. When individual trajectories exhaust the node budget,
+// the completed trajectories' aggregate is returned alongside an
+// error matching dd.ErrResourceExhausted instead of discarding the
+// ensemble.
 func RunNoisy(circ *qc.Circuit, model NoiseModel, trajectories int, seed int64, opts ...Option) (*NoisyResult, error) {
-	if err := model.validate(); err != nil {
-		return nil, err
-	}
-	if trajectories <= 0 {
-		return nil, fmt.Errorf("sim: need at least one trajectory")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	res := &NoisyResult{Trajectories: trajectories, Counts: make(map[int64]int)}
-	totalNodes := 0
-	for tr := 0; tr < trajectories; tr++ {
-		s := New(circ, append([]Option{WithSeed(rng.Int63())}, opts...)...)
-		s.fusion = false
-		for !s.AtEnd() {
-			op := &circ.Ops[s.Pos()]
-			if _, err := s.StepForward(); err != nil {
-				return nil, err
-			}
-			if op.Kind != qc.KindGate || model.IsZero() {
-				continue
-			}
-			// Inject sampled Pauli errors on the touched qubits.
-			touched := append([]int(nil), op.Targets...)
-			for _, ctl := range op.Controls {
-				touched = append(touched, ctl.Qubit)
-			}
-			for _, q := range touched {
-				g := samplePauli(rng, model)
-				if g == qc.GateNone {
-					continue
-				}
-				res.ErrorEvents++
-				err := s.injectGate(g, q)
-				if err != nil {
-					return nil, err
-				}
-			}
-		}
-		res.Counts[dd.Sample(s.State(), rng)]++
-		totalNodes += dd.SizeV(s.State())
-	}
-	res.MeanNodes = float64(totalNodes) / float64(trajectories)
-	return res, nil
+	return RunNoisyCtx(context.Background(), circ, model, trajectories, seed, opts...)
 }
 
 // samplePauli draws an error gate (or GateNone) from the model.

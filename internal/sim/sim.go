@@ -80,6 +80,13 @@ type Simulator struct {
 	// runs on the same target into one 2×2 matrix per step.
 	fusion bool
 
+	// workers and trajObserver configure the trajectory pool
+	// (pool.go); they have no effect on a single interactive
+	// simulator but ride on Option so RunNoisy keeps one variadic
+	// options surface for both per-trajectory and ensemble settings.
+	workers      int
+	trajObserver func(seconds float64)
+
 	peakNodes int // largest state diagram observed
 }
 
@@ -139,9 +146,34 @@ func WithMaxNodes(n int) Option {
 	return func(s *Simulator) { s.pkg.SetMaxNodes(n) }
 }
 
+// WithWorkers sets the trajectory pool width for RunNoisy: the
+// ensemble is fanned out over n independent DD engine replicas.
+// 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs sequentially on
+// the calling goroutine. Results are bit-identical for every worker
+// count (see pool.go). The option is ignored outside RunNoisy.
+func WithWorkers(n int) Option {
+	return func(s *Simulator) { s.workers = n }
+}
+
+// WithTrajectoryObserver installs a callback invoked with the
+// wall-clock seconds of every completed trajectory in a RunNoisy
+// ensemble — the hook the server's trajectory_seconds histogram and
+// completion counters hang off. It may be called concurrently from
+// pool workers, so the callback must be safe for concurrent use
+// (e.g. an atomic histogram Observe). Ignored outside RunNoisy.
+func WithTrajectoryObserver(fn func(seconds float64)) Option {
+	return func(s *Simulator) { s.trajObserver = fn }
+}
+
 // New creates a simulator for the circuit, starting in |0…0⟩.
 func New(circ *qc.Circuit, opts ...Option) *Simulator {
-	p := dd.New(circ.NQubits)
+	return newOn(dd.New(circ.NQubits), circ, opts...)
+}
+
+// newOn builds a simulator on an existing DD package — the replica
+// pool (pool.go) reuses one engine per worker across trajectories so
+// unique tables, interned gates, and slab arenas stay warm.
+func newOn(p *dd.Pkg, circ *qc.Circuit, opts ...Option) *Simulator {
 	s := &Simulator{
 		pkg:            p,
 		circ:           circ,
@@ -218,6 +250,21 @@ func (s *Simulator) maybeGC() {
 	// Protect history snapshots (they are already ref-counted when
 	// pushed), then collect.
 	s.pkg.GarbageCollect()
+}
+
+// release drops every diagram reference this simulator holds — the
+// current state and all history snapshots — returning the shared DD
+// package to the pool in a collectible state. The simulator must not
+// be used afterwards. Only the trajectory pool calls this: an
+// interactive simulator owns its package and lets it die with the
+// session instead.
+func (s *Simulator) release() {
+	for i := range s.history {
+		s.pkg.DecRefV(s.history[i].state)
+	}
+	s.history = nil
+	s.pkg.DecRefV(s.state)
+	s.state = dd.VZero()
 }
 
 // StepForward executes the next operation and reports what happened.

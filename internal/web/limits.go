@@ -48,6 +48,11 @@ type Config struct {
 	// RequestTimeout bounds each request, including break/end
 	// fast-forward loops, via a context deadline.
 	RequestTimeout time.Duration
+	// NoisyWorkers is the trajectory pool width for POST /api/noisy:
+	// Monte-Carlo ensembles fan out over this many independent DD
+	// engine replicas. 0 uses runtime.GOMAXPROCS; 1 runs
+	// sequentially. Results are bit-identical for every setting.
+	NoisyWorkers int
 	// SpillDir, when non-empty, enables durable sessions: TTL/LRU
 	// eviction spills the session as a checksummed snapshot into this
 	// directory, and the next request for the id transparently

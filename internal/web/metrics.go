@@ -59,6 +59,11 @@ type serverMetrics struct {
 	spillBytes            *obs.Gauge
 	spillSnapshots        *obs.Gauge
 
+	// Parallel trajectory engine (PR 7): noisy-ensemble throughput.
+	trajectoriesCompleted *obs.Counter
+	trajectorySeconds     *obs.Histogram
+	noisyWorkers          *obs.Gauge
+
 	// Flight-recorder accounting across all sessions.
 	spansDropped *obs.Counter
 }
@@ -130,6 +135,12 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		"Total bytes in the spill store.")
 	m.spillSnapshots = r.Gauge("spill_store_snapshots",
 		"Snapshots currently in the spill store.")
+	m.trajectoriesCompleted = r.Counter("trajectories_completed_total",
+		"Monte-Carlo noise trajectories completed by the /api/noisy pool.")
+	m.trajectorySeconds = r.Histogram("trajectory_seconds",
+		"Wall-clock duration of one completed noise trajectory.", obs.LatencyBuckets)
+	m.noisyWorkers = r.Gauge("noisy_workers",
+		"Trajectory pool width used by the most recent /api/noisy ensemble.")
 	m.spansDropped = r.Counter("trace_spans_dropped_total",
 		"Spans evicted from per-session flight recorders (ring buffer at capacity).")
 	return m

@@ -1,0 +1,127 @@
+package web
+
+// Tests for the parallel /api/noisy path: partial-progress rendering
+// when the node budget trims the ensemble, concurrent requests on the
+// shared pool configuration (race coverage), and the trajectory
+// metric series.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+	"quantumdd/internal/obs"
+)
+
+// TestNoisyPartialProgressResponse: with a node budget far below what
+// the circuit needs, every trajectory fails — the endpoint must still
+// answer 200 with a partial-progress body (the stepping frames'
+// contract), not discard the ensemble as a 4xx.
+func TestNoisyPartialProgressResponse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.MaxNodes = 4
+	cfg.Metrics = obs.NewRegistry()
+	ws := NewServerWithConfig(cfg)
+	t.Cleanup(ws.Close)
+	srv := httptest.NewServer(ws.Handler())
+	t.Cleanup(srv.Close)
+
+	var resp noisyResponse
+	r := post(t, srv, "/api/noisy", noisyRequest{
+		Code:         algorithms.GHZ(14).QASM(),
+		Depolarizing: 0.01,
+		Trajectories: 10,
+	}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("partial result rejected with status %d", r.StatusCode)
+	}
+	if !resp.Partial || resp.Error == "" {
+		t.Fatalf("degraded ensemble not marked partial: %+v", resp)
+	}
+	if resp.Failed != 10 || resp.Trajectories != 0 || resp.Requested != 10 {
+		t.Fatalf("progress fields wrong: %+v", resp)
+	}
+	if !strings.Contains(resp.Error, "budget") {
+		t.Fatalf("error does not name the budget: %q", resp.Error)
+	}
+	if len(resp.Counts) != 0 {
+		t.Fatalf("failed trajectories leaked counts: %v", resp.Counts)
+	}
+}
+
+// TestNoisyConcurrentRequests hammers the endpoint from several
+// clients at once — under -race this is the proof that per-request
+// ensembles (each with its own replica pool) share nothing but the
+// metrics, and determinism holds under contention.
+func TestNoisyConcurrentRequests(t *testing.T) {
+	srv := newTestServer(t)
+	req := noisyRequest{
+		Code:         algorithms.GHZ(5).QASM(),
+		Depolarizing: 0.05,
+		Trajectories: 100,
+	}
+	const clients = 6
+	results := make([]noisyResponse, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			post(t, srv, "/api/noisy", req, &results[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if results[i].Trajectories != results[0].Trajectories ||
+			results[i].ErrorEvents != results[0].ErrorEvents ||
+			results[i].MeanNodes != results[0].MeanNodes {
+			t.Fatalf("concurrent requests diverged: %+v vs %+v", results[i], results[0])
+		}
+		for k, v := range results[0].Counts {
+			if results[i].Counts[k] != v {
+				t.Fatalf("counts[%s] diverged: %d vs %d", k, results[i].Counts[k], v)
+			}
+		}
+	}
+}
+
+// TestNoisyTrajectoryMetrics: a finished ensemble must be visible in
+// the scrape — completions counted, latency observed, pool width
+// published.
+func TestNoisyTrajectoryMetrics(t *testing.T) {
+	srv := newMetricsTestServer(t)
+	var resp noisyResponse
+	post(t, srv, "/api/noisy", noisyRequest{
+		Code:         algorithms.Bell().QASM(),
+		Trajectories: 40,
+	}, &resp)
+	if resp.Trajectories != 40 {
+		t.Fatalf("ensemble incomplete: %+v", resp)
+	}
+	body := scrape(t, srv)
+	if !strings.Contains(body, "trajectories_completed_total 40") {
+		t.Fatalf("completed counter missing or wrong:\n%s", grepLines(body, "trajectories_completed"))
+	}
+	if !strings.Contains(body, `trajectory_seconds_count 40`) {
+		t.Fatalf("latency histogram missing:\n%s", grepLines(body, "trajectory_seconds"))
+	}
+	if !strings.Contains(body, "noisy_workers") {
+		t.Fatal("pool width gauge missing")
+	}
+}
+
+// grepLines filters a scrape body to lines mentioning substr, for
+// focused failure messages.
+func grepLines(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

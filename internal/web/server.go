@@ -375,15 +375,30 @@ type noisyRequest struct {
 }
 
 type noisyResponse struct {
-	Trajectories int            `json:"trajectories"`
-	ErrorEvents  int            `json:"errorEvents"`
-	MeanNodes    float64        `json:"meanNodes"`
-	Counts       map[string]int `json:"counts"`
+	// Trajectories counts completed trajectories; on a partial result
+	// it is smaller than Requested.
+	Trajectories int `json:"trajectories"`
+	Requested    int `json:"requested"`
+	Failed       int `json:"failed,omitempty"`
+	// Workers is the replica pool width the ensemble ran on.
+	Workers int `json:"workers"`
+	// Partial marks a degraded result: some trajectories hit the node
+	// budget, and Error carries the cause. The counts cover the
+	// completed trajectories only — the partial-progress contract of
+	// the stepping frames.
+	Partial     bool           `json:"partial,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	ErrorEvents int            `json:"errorEvents"`
+	MeanNodes   float64        `json:"meanNodes"`
+	Counts      map[string]int `json:"counts"`
 }
 
 // handleNoisy runs a Monte-Carlo trajectory ensemble under Pauli noise
 // and returns the aggregated outcome histogram — a batch companion to
-// the interactive stepping view.
+// the interactive stepping view. Trajectories fan out over the
+// replica pool (Config.NoisyWorkers) under the request context, so a
+// disconnected client or an expired deadline stops the remaining
+// trajectories instead of burning cores on an unwanted answer.
 func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
 	var req noisyRequest
 	if s.decodeJSON(w, r, &req) != nil {
@@ -406,21 +421,43 @@ func (s *Server) handleNoisy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	model := sim.NoiseModel{Depolarizing: req.Depolarizing, BitFlip: req.BitFlip, PhaseFlip: req.PhaseFlip}
-	res, err := sim.RunNoisy(circ, model, req.Trajectories, s.cfg.Seed)
-	if err != nil {
+	res, err := sim.RunNoisyCtx(r.Context(), circ, model, req.Trajectories, s.cfg.Seed,
+		sim.WithMaxNodes(s.cfg.MaxNodes),
+		sim.WithWorkers(s.cfg.NoisyWorkers),
+		sim.WithTrajectoryObserver(func(seconds float64) {
+			s.metrics.trajectoriesCompleted.Inc()
+			s.metrics.trajectorySeconds.Observe(seconds)
+		}))
+	if res != nil {
+		s.metrics.noisyWorkers.Set(float64(res.Workers))
+	}
+	if err != nil && res == nil {
 		s.writeErr(w, r, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	counts := make(map[string]int, len(res.Counts))
-	for idx, n := range res.Counts {
-		counts[fmt.Sprintf("%0*b", circ.NQubits, idx)] = n
-	}
-	s.writeJSON(w, r, http.StatusOK, noisyResponse{
+	resp := noisyResponse{
 		Trajectories: res.Trajectories,
+		Requested:    res.Requested,
+		Failed:       res.Failed,
+		Workers:      res.Workers,
 		ErrorEvents:  res.ErrorEvents,
 		MeanNodes:    res.MeanNodes,
-		Counts:       counts,
-	})
+		Counts:       make(map[string]int, len(res.Counts)),
+	}
+	for idx, n := range res.Counts {
+		resp.Counts[fmt.Sprintf("%0*b", circ.NQubits, idx)] = n
+	}
+	if err != nil {
+		// Budget exhaustion (or a cancelled context racing the write):
+		// answer with the completed trajectories and the cause instead
+		// of discarding the ensemble.
+		resp.Partial = true
+		resp.Error = err.Error()
+		s.reqLogger(r).Warn("noisy ensemble degraded to partial result",
+			"completed", res.Trajectories, "requested", res.Requested,
+			"failed", res.Failed, "error", err)
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // handleSimExport serves the current diagram as a standalone artifact
