@@ -17,17 +17,25 @@
 //	      [-noisy-workers 0]
 //	      [-trace-spans 1024] [-spill-dir /var/lib/ddvis/spill]
 //	      [-spill-max-bytes 67108864]
+//	      [-sample-interval 5s] [-sample-retention 0] [-live-stream]
 //
 // With -spill-dir set, sessions evicted by the idle TTL or the LRU cap
 // are spilled to disk as checksummed snapshots and transparently
 // restored on their next request instead of answering 410 Gone; see
 // README "Durability & recovery".
 //
+// With -sample-interval > 0 (the default), an in-process time-series
+// store sweeps every metric plus per-session resource accounts on
+// each tick, powering /readyz SLO burn detection, the watchdog, the
+// /debug/live SSE stream, and /debug/sessions/top; see README "Live
+// telemetry & health".
+//
 // When -admin-addr is set, a second listener serves the operational
-// endpoints (/healthz, /metrics, /debug/vars, /debug/pprof/…, and the
-// one-shot /debug/bundle tar.gz) so profiling never rides on the
-// public port; bind it to localhost or a cluster-internal interface.
-// /metrics is also served on the public listener either way.
+// endpoints (/healthz, /readyz, /metrics, /debug/vars, /debug/pprof/…,
+// /debug/sessions/top, and the one-shot /debug/bundle tar.gz) so
+// profiling never rides on the public port; bind it to localhost or a
+// cluster-internal interface. /metrics is also served on the public
+// listener either way.
 package main
 
 import (
@@ -64,23 +72,29 @@ func main() {
 	traceSpans := flag.Int("trace-spans", def.TraceSpans, "per-session flight-recorder capacity in spans (0 = default, negative = disable tracing)")
 	spillDir := flag.String("spill-dir", "", "directory for durable session snapshots; evicted sessions spill here and are transparently restored on their next request (empty = disabled)")
 	spillMaxBytes := flag.Int64("spill-max-bytes", 0, "byte cap on the spill directory, oldest snapshots evicted first (0 = unbounded)")
+	sampleInterval := flag.Duration("sample-interval", def.SampleInterval, "telemetry sweep interval for the in-process time-series store (0 = telemetry off)")
+	sampleRetention := flag.Int("sample-retention", def.SampleRetention, "samples retained per telemetry series (0 = default)")
+	liveStream := flag.Bool("live-stream", def.LiveStream, "serve the /debug/live SSE telemetry stream (requires telemetry)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := core.NewWebToolConfig(web.Config{
-		Seed:           *seed,
-		MaxQubits:      *maxQubits,
-		MaxOps:         *maxOps,
-		MaxNodes:       *maxNodes,
-		MaxBodyBytes:   *maxBody,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
-		RequestTimeout: *reqTimeout,
-		NoisyWorkers:   *noisyWorkers,
-		SpillDir:       *spillDir,
-		SpillMaxBytes:  *spillMaxBytes,
-		TraceSpans:     *traceSpans,
-		Logger:         logger,
+		Seed:            *seed,
+		MaxQubits:       *maxQubits,
+		MaxOps:          *maxOps,
+		MaxNodes:        *maxNodes,
+		MaxBodyBytes:    *maxBody,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
+		RequestTimeout:  *reqTimeout,
+		NoisyWorkers:    *noisyWorkers,
+		SpillDir:        *spillDir,
+		SpillMaxBytes:   *spillMaxBytes,
+		TraceSpans:      *traceSpans,
+		SampleInterval:  *sampleInterval,
+		SampleRetention: *sampleRetention,
+		LiveStream:      *liveStream,
+		Logger:          logger,
 	})
 	defer srv.Close()
 
@@ -111,6 +125,11 @@ func main() {
 		// The debug bundle blocks for its CPU-profile window, so it
 		// lives on the admin listener only, next to pprof.
 		adminMux.Handle("GET /debug/bundle", srv.BundleHandler())
+		// Readiness (with component probes and SLO burn) and the
+		// per-session resource ranking are operational surfaces too —
+		// AdminMuxWith's /healthz stays the bare liveness check.
+		adminMux.Handle("GET /readyz", srv.ReadyzHandler())
+		adminMux.Handle("GET /debug/sessions/top", srv.SessionsTopHandler())
 		admin = &http.Server{
 			Addr:              *adminAddr,
 			Handler:           adminMux,

@@ -4,8 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
 	"quantumdd/internal/bench"
+	"quantumdd/internal/dd"
+	"quantumdd/internal/obs"
+	"quantumdd/internal/obs/tsdb"
 )
 
 // RunDdbench is the ddbench tool: regenerate the paper's experiments.
@@ -16,15 +20,51 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiments and exit")
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engines after the run")
 	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
+	sampleInterval := fs.Duration("sample-interval", 0, "run the in-process telemetry sampler at this interval during the experiments (0 = off); pairs a run with and without it to measure sampler overhead")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	var md *metricsDumper
 	if *metricsDump {
 		// The experiments build their engines internally; the tracer
 		// still reaches them through the process-wide default, so the
 		// dump carries the op-latency histograms of the whole run.
-		md := newMetricsDumper()
+		md = newMetricsDumper()
 		defer md.dump(stdout)
+	}
+	if *sampleInterval > 0 {
+		// The sampler needs a populated registry: reuse the dumper's if
+		// present, otherwise install the same default-tracer plumbing so
+		// the sweeps see real op-latency series, as in the web server.
+		reg := obs.NewRegistry()
+		if md != nil {
+			reg = md.reg
+		} else {
+			coll := obs.NewDDCollector(reg)
+			dd.SetDefaultTracer(coll.Tracer())
+		}
+		store := tsdb.New(reg, tsdb.Config{Interval: *sampleInterval})
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(*sampleInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case now := <-t.C:
+					store.SampleOnce(now)
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+			fmt.Fprintf(stderr, "telemetry: %d sweep(s), %d series, %d bytes retained\n",
+				store.Samples(), store.SeriesCount(), store.RetainedBytes())
+		}()
 	}
 	if *traceOut != "" {
 		// Experiments don't thread a context, so the timeline is the

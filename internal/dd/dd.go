@@ -243,6 +243,48 @@ func (s Stats) Add(b Stats) Stats {
 	return s
 }
 
+// Delta returns the counter increase from prev to s, for windowed
+// accounting over successive snapshots (per-session resource meters,
+// telemetry sampling). Monotone counters subtract reset-safe — a
+// snapshot from a fresh package (counter went backwards) clamps that
+// field to the current value rather than going negative. Snapshot-time
+// gauges (load factors, free/live node counts) keep s's current value:
+// a delta of a gauge is meaningless.
+func (s Stats) Delta(prev Stats) Stats {
+	sub := func(cur, old uint64) uint64 {
+		if cur < old {
+			return cur
+		}
+		return cur - old
+	}
+	return Stats{
+		NodesCreatedV:    sub(s.NodesCreatedV, prev.NodesCreatedV),
+		NodesCreatedM:    sub(s.NodesCreatedM, prev.NodesCreatedM),
+		UniqueHitsV:      sub(s.UniqueHitsV, prev.UniqueHitsV),
+		UniqueHitsM:      sub(s.UniqueHitsM, prev.UniqueHitsM),
+		CacheLookups:     sub(s.CacheLookups, prev.CacheLookups),
+		CacheHits:        sub(s.CacheHits, prev.CacheHits),
+		GCRuns:           sub(s.GCRuns, prev.GCRuns),
+		NodesFreed:       sub(s.NodesFreed, prev.NodesFreed),
+		GCPauseNS:        sub(s.GCPauseNS, prev.GCPauseNS),
+		NodesRecycledV:   sub(s.NodesRecycledV, prev.NodesRecycledV),
+		NodesRecycledM:   sub(s.NodesRecycledM, prev.NodesRecycledM),
+		UTCollisions:     sub(s.UTCollisions, prev.UTCollisions),
+		CTStores:         sub(s.CTStores, prev.CTStores),
+		CTEvictions:      sub(s.CTEvictions, prev.CTEvictions),
+		ApplyCTLookups:   sub(s.ApplyCTLookups, prev.ApplyCTLookups),
+		ApplyCTHits:      sub(s.ApplyCTHits, prev.ApplyCTHits),
+		ApplyCTEvictions: sub(s.ApplyCTEvictions, prev.ApplyCTEvictions),
+		GatesFused:       sub(s.GatesFused, prev.GatesFused),
+		GateDDCacheHits:  sub(s.GateDDCacheHits, prev.GateDDCacheHits),
+		UniqueLoadV:      s.UniqueLoadV,
+		UniqueLoadM:      s.UniqueLoadM,
+		FreeNodesV:       s.FreeNodesV,
+		FreeNodesM:       s.FreeNodesM,
+		LiveNodes:        s.LiveNodes,
+	}
+}
+
 // NormScheme selects how vector nodes are normalized. Both schemes
 // yield canonical diagrams; they differ in what the edge weights mean.
 type NormScheme int

@@ -1,0 +1,102 @@
+package obs
+
+// Conformance tests against the Prometheus text exposition format
+// (version 0.0.4): label values escape backslash, double-quote and
+// line feed; HELP lines escape backslash and line feed only (a double
+// quote is legal there and must pass through verbatim).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLabelValueEscapingConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escaping test",
+		L("path", `C:\temp\x`),
+		L("quote", `say "hi"`),
+		L("multi", "line1\nline2")).Add(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="C:\\temp\\x",quote="say \"hi\"",multi="line1\nline2"} 1`
+	if !strings.Contains(buf.String(), want+"\n") {
+		t.Errorf("label escaping not conformant:\ngot:  %swant: %s", buf.String(), want)
+	}
+	// No raw line feed may survive inside a sample line.
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "esc_total") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("sample line torn by unescaped newline: %q", line)
+		}
+	}
+}
+
+func TestHelpEscapingConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("help_esc", "first line\nsecond \\ line with \"quotes\"").Set(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Per spec: \n -> \n escape, \ -> \\, double quote verbatim.
+	want := `# HELP help_esc first line\nsecond \\ line with "quotes"`
+	var helpLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# HELP help_esc") {
+			helpLine = line
+		}
+	}
+	if helpLine != want {
+		t.Errorf("HELP escaping not conformant:\ngot:  %q\nwant: %q", helpLine, want)
+	}
+	// The exposition must still parse line-by-line: exactly one HELP,
+	// one TYPE, one sample for the family.
+	var n int
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if strings.Contains(line, "help_esc") {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("family rendered %d lines, want 3 (HELP, TYPE, sample):\n%s", n, buf.String())
+	}
+}
+
+func TestCleanValuesRenderUnchanged(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "no escaping needed", L("k", "v")).Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `plain_total{k="v"} 2`+"\n") {
+		t.Errorf("clean series mangled:\n%s", buf.String())
+	}
+}
+
+func TestProcessMetricsRegistered(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterProcessMetrics(r) // idempotent
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE process_start_time_seconds gauge") {
+		t.Error("process_start_time_seconds family missing")
+	}
+	if strings.Contains(out, "process_start_time_seconds 0\n") {
+		t.Error("process start time is zero")
+	}
+	if !strings.Contains(out, "# TYPE build_info gauge") || !strings.Contains(out, `build_info{go_version="go`) {
+		t.Errorf("build_info family missing or unlabelled:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Error("build_info value is not 1")
+	}
+}

@@ -281,7 +281,9 @@ func renderLabels(labels []Label) string {
 	return b.String()
 }
 
-// escapeLabel applies the Prometheus label-value escaping rules.
+// escapeLabel applies the Prometheus label-value escaping rules: in
+// label values, backslash, double-quote and line feed must be escaped
+// (text exposition format 0.0.4).
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {
 		return v
@@ -293,6 +295,27 @@ func escapeLabel(v string) string {
 			b.WriteString(`\\`)
 		case '"':
 			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the HELP-line escaping rules: only backslash and
+// line feed are escaped there — a double quote is legal in HELP text
+// and must pass through verbatim.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
 		case '\n':
 			b.WriteString(`\n`)
 		default:
@@ -319,7 +342,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
 		if f.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.ordered {
@@ -372,4 +395,58 @@ func formatFloat(v float64) string {
 		return "-Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SeriesPoint is a point-in-time reading of one series, handed to the
+// VisitSeries callback. For histograms, Value carries the observation
+// count, Sum the observation sum, Bounds the bucket upper bounds
+// (without the implicit +Inf) and Counts the per-bucket totals
+// (len(Bounds)+1 entries, the last being the +Inf bucket; counts are
+// raw per-bucket, not cumulative). Bounds and Counts are scratch
+// storage owned by the walk — copy them before the callback returns.
+type SeriesPoint struct {
+	Name   string
+	Labels string // rendered `k1="v1",k2="v2"` or ""
+	Kind   string // "counter", "gauge", or "histogram"
+	Value  float64
+	Sum    float64
+	Bounds []float64
+	Counts []uint64
+}
+
+// VisitSeries reads every registered series once and passes the
+// current value to f in registration order. It does not run the
+// gather hooks — callers sampling periodically (the tsdb sampler)
+// refresh point-in-time gauges themselves before visiting, so one
+// refresh serves the whole sweep.
+func (r *Registry) VisitSeries(f func(p SeriesPoint)) {
+	r.mu.Lock()
+	fams := append([]*family{}, r.ordered...)
+	r.mu.Unlock()
+	var counts []uint64
+	for _, fam := range fams {
+		for _, s := range fam.ordered {
+			p := SeriesPoint{Name: fam.name, Labels: s.labels, Kind: fam.kind.String()}
+			switch fam.kind {
+			case kindCounter:
+				p.Value = float64(s.c.Value())
+			case kindGauge:
+				p.Value = s.g.Value()
+			case kindHistogram:
+				h := s.h
+				p.Value = float64(h.Count())
+				p.Sum = h.Sum()
+				p.Bounds = h.bounds
+				if cap(counts) < len(h.counts) {
+					counts = make([]uint64, len(h.counts))
+				}
+				counts = counts[:len(h.counts)]
+				for i := range h.counts {
+					counts[i] = h.counts[i].Load()
+				}
+				p.Counts = counts
+			}
+			f(p)
+		}
+	}
 }

@@ -1,0 +1,41 @@
+package obs
+
+// Process-identity metric families: process_start_time_seconds lets a
+// scraper detect restarts (the value jumps), and build_info carries
+// the build's identifying labels with a constant value of 1 — the
+// standard join-target pattern, so dashboards can overlay deploys on
+// any other series.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart is captured at package initialization — close enough to
+// process start for restart detection, and stable across registries.
+var processStart = time.Now()
+
+// RegisterProcessMetrics registers process_start_time_seconds and
+// build_info on r. Idempotent: repeated calls return the same series.
+func RegisterProcessMetrics(r *Registry) {
+	r.Gauge("process_start_time_seconds",
+		"Unix time the process started, for scraper-side restart detection.").
+		Set(float64(processStart.UnixNano()) / 1e9)
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	r.Gauge("build_info",
+		"Build metadata as labels; the value is always 1.",
+		L("go_version", runtime.Version()),
+		L("version", version),
+		L("revision", revision)).Set(1)
+}

@@ -1,0 +1,223 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"quantumdd/internal/obs"
+)
+
+func t0() time.Time { return time.Unix(1_700_000_000, 0) }
+
+func TestSampleAndLatest(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("requests_total", "requests")
+	g := reg.Gauge("depth", "queue depth")
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+
+	c.Add(5)
+	g.Set(3.5)
+	s.SampleOnce(t0())
+	c.Add(2)
+	g.Set(1.25)
+	s.SampleOnce(t0().Add(time.Second))
+
+	p, ok := s.Latest("requests_total", "")
+	if !ok || p.V != 7 {
+		t.Fatalf("Latest(requests_total) = %v %v, want 7", p.V, ok)
+	}
+	if v := s.LatestValue("depth", "", -1); v != 1.25 {
+		t.Fatalf("LatestValue(depth) = %v, want 1.25", v)
+	}
+	if v := s.LatestValue("missing", "", -1); v != -1 {
+		t.Fatalf("LatestValue(missing) = %v, want default -1", v)
+	}
+	if got := s.Samples(); got != 2 {
+		t.Fatalf("Samples = %d, want 2", got)
+	}
+}
+
+func TestRateAndDelta(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("ops_total", "ops")
+	s := New(reg, Config{Interval: time.Second, Capacity: 16})
+
+	for i := 0; i < 5; i++ {
+		c.Add(10)
+		s.SampleOnce(t0().Add(time.Duration(i) * time.Second))
+	}
+	now := t0().Add(4 * time.Second)
+	rate, ok := s.Rate("ops_total", "", 10*time.Second, now)
+	if !ok {
+		t.Fatal("Rate not ok")
+	}
+	// 40 increase over 4 seconds between first and last retained sample.
+	if math.Abs(rate-10) > 1e-9 {
+		t.Fatalf("rate = %v, want 10", rate)
+	}
+	d, ok := s.Delta("ops_total", "", 10*time.Second, now)
+	if !ok || d != 40 {
+		t.Fatalf("delta = %v %v, want 40", d, ok)
+	}
+	// A window catching only the newest sample cannot produce a rate.
+	if _, ok := s.Rate("ops_total", "", time.Millisecond, now); ok {
+		t.Fatal("Rate over sub-sample window should not be ok")
+	}
+}
+
+func TestCounterResetClampsToZero(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+	// Simulate a reset via a recorded series (registry counters cannot
+	// decrease, but replica restarts can re-register fresh ones).
+	s.Record("restarts", "", 100, t0())
+	s.Record("restarts", "", 3, t0().Add(time.Second))
+	rate, ok := s.Rate("restarts", "", time.Minute, t0().Add(time.Second))
+	if !ok || rate != 0 {
+		t.Fatalf("rate after reset = %v %v, want 0 true", rate, ok)
+	}
+}
+
+func TestWindowEvictsOldSamples(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v", "value")
+	s := New(reg, Config{Interval: time.Second, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		s.SampleOnce(t0().Add(time.Duration(i) * time.Second))
+	}
+	pts := s.Window("v", "", time.Hour, t0().Add(10*time.Second))
+	if len(pts) != 4 {
+		t.Fatalf("retained %d samples, want capacity 4", len(pts))
+	}
+	if pts[0].V != 6 || pts[3].V != 9 {
+		t.Fatalf("window = %v, want values 6..9 oldest-first", pts)
+	}
+}
+
+func TestQuantileOverWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+
+	// First epoch: all observations fast.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	s.SampleOnce(t0())
+	// Second epoch: everything slow. The windowed quantile between the
+	// two samples must reflect only the slow epoch.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	s.SampleOnce(t0().Add(time.Second))
+
+	q, ok := s.Quantile("lat", "", 0.99, time.Minute, t0().Add(time.Second))
+	if !ok {
+		t.Fatal("Quantile not ok")
+	}
+	if q <= 0.1 || q > 1 {
+		t.Fatalf("windowed p99 = %v, want within (0.1, 1] (slow epoch)", q)
+	}
+
+	// Single-sample fallback: lifetime distribution.
+	reg2 := obs.NewRegistry()
+	h2 := reg2.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	s2 := New(reg2, Config{Interval: time.Second, Capacity: 8})
+	h2.Observe(0.05)
+	s2.SampleOnce(t0())
+	if q, ok := s2.Quantile("lat", "", 0.5, time.Minute, t0()); !ok || q <= 0.01 || q > 0.1 {
+		t.Fatalf("lifetime p50 = %v %v, want within (0.01, 0.1]", q, ok)
+	}
+
+	// No observations in window -> not ok.
+	reg3 := obs.NewRegistry()
+	reg3.Histogram("lat", "latency", []float64{1})
+	s3 := New(reg3, Config{Interval: time.Second, Capacity: 8})
+	s3.SampleOnce(t0())
+	if _, ok := s3.Quantile("lat", "", 0.9, time.Minute, t0()); ok {
+		t.Fatal("Quantile with zero observations should not be ok")
+	}
+}
+
+func TestRecordedSeriesPrunedWhenStale(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+	s.Record("session_ops", `id="sim-1"`, 42, t0())
+	if _, ok := s.Latest("session_ops", `id="sim-1"`); !ok {
+		t.Fatal("recorded series missing")
+	}
+	// Sweeps advance well past the staleness horizon without the
+	// session recording again: the series must be pruned.
+	for i := 1; i <= staleTicks+2; i++ {
+		s.SampleOnce(t0().Add(time.Duration(i) * time.Second))
+	}
+	if _, ok := s.Latest("session_ops", `id="sim-1"`); ok {
+		t.Fatal("stale recorded series was not pruned")
+	}
+}
+
+func TestSeriesCapCountsDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, Config{Interval: time.Second, Capacity: 4, MaxSeries: 6})
+	for i := 0; i < 10; i++ {
+		s.Record("s", fmt.Sprintf("i=%q", string(rune('a'+i))), float64(i), t0())
+	}
+	// 4 meta families of the store itself occupy registry slots but not
+	// ring slots until sampled; the recorded series hit the cap.
+	if got := s.SeriesCount(); got > 6 {
+		t.Fatalf("series count %d exceeds cap 6", got)
+	}
+	if v := reg.Counter("tsdb_series_dropped_total", "").Value(); v == 0 {
+		t.Fatal("series drops not counted")
+	}
+}
+
+func TestRetainedBytesBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("h", "hist", obs.LatencyBuckets)
+	reg.Gauge("g", "gauge")
+	cap := 100
+	s := New(reg, Config{Interval: time.Second, Capacity: cap})
+	for i := 0; i < 3*cap; i++ {
+		s.SampleOnce(t0().Add(time.Duration(i) * time.Second))
+	}
+	got := s.RetainedBytes()
+	// Retention math: scalar rings cost cap*16; histogram rings add
+	// cap*8*(buckets+2). Memory must not grow past that bound no matter
+	// how many sweeps ran.
+	nb := len(obs.LatencyBuckets) + 1
+	perHist := int64(cap)*16 + int64(cap)*8 + int64(cap*nb)*8
+	perScalar := int64(cap) * 16
+	// h + g + 4 tsdb meta series (scalars).
+	want := perHist + 5*perScalar
+	if got != want {
+		t.Fatalf("RetainedBytes = %d, want %d (bounded)", got, want)
+	}
+}
+
+func TestConcurrentSampleAndQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("x", "x")
+	s := New(reg, Config{Interval: time.Millisecond, Capacity: 32})
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			c.Inc()
+			s.SampleOnce(t0().Add(time.Duration(i) * time.Millisecond))
+		}
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			s.Latest("x", "")
+			s.Rate("x", "", time.Second, t0().Add(time.Second))
+			s.Window("x", "", time.Second, t0().Add(time.Second))
+		}
+	}
+}

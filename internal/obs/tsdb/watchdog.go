@@ -1,0 +1,147 @@
+package tsdb
+
+// Watchdog: turns threshold breaches over the retained telemetry into
+// structured events. Rules are evaluated on every sample tick against
+// the store's windowed queries; a breach appends an Event to a bounded
+// ring (oldest evicted) and increments the rule's
+// watchdog_events_total series. A per-rule cooldown keeps a sustained
+// breach from flooding the ring — the operator wants "GC pauses
+// spiked at 12:03", not ten thousand copies of it.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"quantumdd/internal/obs"
+)
+
+// Querier is the read surface rules see — the store's windowed
+// queries, narrowed so tests can fake them.
+type Querier interface {
+	Latest(name, labels string) (Point, bool)
+	Rate(name, labels string, window time.Duration, now time.Time) (float64, bool)
+	Delta(name, labels string, window time.Duration, now time.Time) (float64, bool)
+	Quantile(name, labels string, q float64, window time.Duration, now time.Time) (float64, bool)
+}
+
+// Rule is one watched condition. Check returns breach=true with a
+// human-readable detail when the condition currently holds.
+type Rule struct {
+	// Name identifies the rule in events and the
+	// watchdog_events_total{rule=…} series. Keep it label-safe.
+	Name string
+	// Cooldown suppresses repeat events while a breach persists.
+	// Zero applies DefaultCooldown.
+	Cooldown time.Duration
+	// Check evaluates the condition at now.
+	Check func(q Querier, now time.Time) (detail string, breach bool)
+}
+
+// DefaultCooldown spaces repeat events of a persistent breach.
+const DefaultCooldown = 30 * time.Second
+
+// Event is one recorded breach.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Rule   string    `json:"rule"`
+	Detail string    `json:"detail"`
+}
+
+// DefaultEventCapacity bounds the event ring.
+const DefaultEventCapacity = 256
+
+// Watchdog owns the rules and the bounded event ring. Evaluate is
+// called from the telemetry tick; the read side (Events, WriteJSONL,
+// health endpoints) is safe from any goroutine.
+type Watchdog struct {
+	store    Querier
+	rules    []Rule
+	counters []*obs.Counter
+
+	mu       sync.Mutex
+	ring     []Event
+	head, n  int
+	lastFire []time.Time
+	dropped  uint64
+}
+
+// NewWatchdog builds a watchdog over q. Every rule's
+// watchdog_events_total{rule=…} series is registered immediately, so
+// scrapers see stable zero series before the first breach.
+func NewWatchdog(q Querier, reg *obs.Registry, capacity int, rules ...Rule) *Watchdog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	w := &Watchdog{
+		store:    q,
+		rules:    rules,
+		ring:     make([]Event, capacity),
+		lastFire: make([]time.Time, len(rules)),
+	}
+	for _, r := range rules {
+		w.counters = append(w.counters, reg.Counter("watchdog_events_total",
+			"Watchdog threshold breaches recorded, by rule.", obs.L("rule", r.Name)))
+	}
+	return w
+}
+
+// Evaluate runs every rule once at now.
+func (w *Watchdog) Evaluate(now time.Time) {
+	for i, r := range w.rules {
+		detail, breach := r.Check(w.store, now)
+		if !breach {
+			continue
+		}
+		cd := r.Cooldown
+		if cd <= 0 {
+			cd = DefaultCooldown
+		}
+		w.mu.Lock()
+		if !w.lastFire[i].IsZero() && now.Sub(w.lastFire[i]) < cd {
+			w.mu.Unlock()
+			continue
+		}
+		w.lastFire[i] = now
+		if w.n == len(w.ring) {
+			w.dropped++
+		} else {
+			w.n++
+		}
+		w.ring[w.head] = Event{Time: now, Rule: r.Name, Detail: detail}
+		w.head = (w.head + 1) % len(w.ring)
+		w.mu.Unlock()
+		w.counters[i].Inc()
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (w *Watchdog) Events() []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Event, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.ring[(w.head-w.n+i+len(w.ring))%len(w.ring)])
+	}
+	return out
+}
+
+// Dropped reports events evicted from the full ring.
+func (w *Watchdog) Dropped() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// WriteJSONL writes the retained events as JSON Lines — the debug
+// bundle member format (one event per line, grep- and jq-friendly).
+func (w *Watchdog) WriteJSONL(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	for _, e := range w.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"quantumdd/internal/obs"
+)
+
+// breachAbove builds a rule firing while the latest value of a series
+// exceeds the threshold.
+func breachAbove(name, series string, threshold float64) Rule {
+	return Rule{
+		Name:     name,
+		Cooldown: 10 * time.Second,
+		Check: func(q Querier, now time.Time) (string, bool) {
+			p, ok := q.Latest(series, "")
+			if !ok || p.V <= threshold {
+				return "", false
+			}
+			return "value above threshold", true
+		},
+	}
+}
+
+func TestWatchdogRecordsBreachesWithCooldown(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("pressure", "pressure")
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+	w := NewWatchdog(s, reg, 16, breachAbove("pressure_high", "pressure", 10))
+
+	// Healthy: no events.
+	g.Set(5)
+	s.SampleOnce(t0())
+	w.Evaluate(t0())
+	if len(w.Events()) != 0 {
+		t.Fatal("event recorded without a breach")
+	}
+
+	// Breach: one event, and the cooldown suppresses the immediate
+	// repeats while the breach persists.
+	g.Set(50)
+	for i := 1; i <= 5; i++ {
+		now := t0().Add(time.Duration(i) * time.Second)
+		s.SampleOnce(now)
+		w.Evaluate(now)
+	}
+	evs := w.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events during cooldown, want 1", len(evs))
+	}
+	if evs[0].Rule != "pressure_high" {
+		t.Fatalf("event rule %q", evs[0].Rule)
+	}
+
+	// Past the cooldown the persistent breach fires again.
+	now := t0().Add(15 * time.Second)
+	s.SampleOnce(now)
+	w.Evaluate(now)
+	if len(w.Events()) != 2 {
+		t.Fatalf("%d events past cooldown, want 2", len(w.Events()))
+	}
+
+	// The counter family saw both.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `watchdog_events_total{rule="pressure_high"} 2`) {
+		t.Fatalf("watchdog_events_total not exported:\n%s", buf.String())
+	}
+}
+
+func TestWatchdogRingBoundedOldestEvicted(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("p", "p")
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+	w := NewWatchdog(s, reg, 4, Rule{
+		Name:     "always",
+		Cooldown: time.Nanosecond,
+		Check: func(q Querier, now time.Time) (string, bool) {
+			return now.Format(time.RFC3339Nano), true
+		},
+	})
+	g.Set(1)
+	for i := 0; i < 10; i++ {
+		now := t0().Add(time.Duration(i) * time.Second)
+		s.SampleOnce(now)
+		w.Evaluate(now)
+	}
+	evs := w.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	if !evs[0].Time.Before(evs[3].Time) {
+		t.Fatal("events not oldest-first")
+	}
+	if w.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", w.Dropped())
+	}
+}
+
+func TestWatchdogJSONLExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("p", "p")
+	s := New(reg, Config{Interval: time.Second, Capacity: 8})
+	w := NewWatchdog(s, reg, 8, breachAbove("p_high", "p", 0))
+	g.Set(1)
+	s.SampleOnce(t0())
+	w.Evaluate(t0())
+
+	var buf bytes.Buffer
+	if err := w.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("%d JSONL lines, want 1", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line not valid JSON: %v", err)
+	}
+	if ev.Rule != "p_high" || ev.Detail == "" {
+		t.Fatalf("decoded event %+v", ev)
+	}
+}

@@ -136,6 +136,17 @@ func resolveWorkers(requested, trajectories int) int {
 	return w
 }
 
+// PoolWidth reports the worker-pool width RunNoisy would use for the
+// given request, exposing the clamp logic to health probes: a probe
+// asserting "the trajectory pool can still fan out" checks that a
+// nominal request resolves to at least one worker.
+func PoolWidth(requested, trajectories int) int {
+	if trajectories < 1 {
+		trajectories = 1
+	}
+	return resolveWorkers(requested, trajectories)
+}
+
 // RunNoisyCtx is RunNoisy under a context: cancellation (a
 // disconnected client, a request deadline) stops the remaining
 // trajectories and returns the partial result for the completed ones

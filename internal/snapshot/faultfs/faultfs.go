@@ -30,6 +30,11 @@ type FS struct {
 	// FailWrites lists 1-based WriteFile call numbers that fail with
 	// ErrInjected (the file is not created).
 	FailWrites map[int]bool
+	// FailAllWrites, while set, fails every WriteFile with ErrInjected —
+	// a disk gone read-only. Unlike the call-numbered schedule it can be
+	// toggled off to model recovery. Guard access with SetFailAllWrites
+	// when flipping concurrently with store traffic.
+	FailAllWrites bool
 	// FailRenames, when true, fails every Rename with ErrInjected —
 	// the "write succeeded, publish failed" torn-spill case.
 	FailRenames bool
@@ -69,12 +74,20 @@ func (f *FS) MkdirAll(path string) error { return f.Inner.MkdirAll(path) }
 func (f *FS) WriteFile(path string, data []byte) error {
 	f.mu.Lock()
 	f.writes++
-	fail := f.FailWrites[f.writes]
+	fail := f.FailWrites[f.writes] || f.FailAllWrites
 	f.mu.Unlock()
 	if fail {
 		return ErrInjected
 	}
 	return f.Inner.WriteFile(path, data)
+}
+
+// SetFailAllWrites flips the persistent write-failure switch under the
+// harness lock, safe against concurrent WriteFile traffic.
+func (f *FS) SetFailAllWrites(v bool) {
+	f.mu.Lock()
+	f.FailAllWrites = v
+	f.mu.Unlock()
 }
 
 func (f *FS) Rename(oldPath, newPath string) error {

@@ -219,6 +219,24 @@ func (st *Store) Delete(id string) error {
 	return nil
 }
 
+// ProbeWritable checks that the spill directory still accepts writes
+// by creating and removing a small probe file through the store's FS.
+// Health endpoints use it to turn "the disk went read-only under us"
+// into a readiness failure before the next real spill discovers it.
+func (st *Store) ProbeWritable() error {
+	p := filepath.Join(st.dir, ".probe"+tmpExt)
+	if err := st.fs.WriteFile(p, []byte("probe")); err != nil {
+		return fmt.Errorf("snapshot: spill dir not writable: %w", err)
+	}
+	if err := st.fs.Remove(p); err != nil {
+		return fmt.Errorf("snapshot: spill dir probe cleanup: %w", err)
+	}
+	return nil
+}
+
+// Dir reports the directory the store spills into.
+func (st *Store) Dir() string { return st.dir }
+
 // Len reports the number of stored snapshots.
 func (st *Store) Len() int {
 	st.mu.Lock()

@@ -1,0 +1,80 @@
+package web
+
+// Per-session resource accounting: ranking, truncation, and input
+// validation on /debug/sessions/top.
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"quantumdd/internal/algorithms"
+)
+
+func TestSessionsTopRankingAndFields(t *testing.T) {
+	_, srv := newSpillTestServer(t, nil)
+
+	// Two sessions with different work volumes: the busiest must rank
+	// first, and its counters must be non-zero.
+	var busy newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.GHZ(4).QASM()}, &busy)
+	for i := 0; i < 5; i++ {
+		post(t, srv, "/api/simulation/"+busy.ID+"/step", stepRequest{Action: "forward"}, nil)
+	}
+	var idle newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &idle)
+
+	var top topResponse
+	resp := get(t, srv, "/debug/sessions/top", &top)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/sessions/top status %d", resp.StatusCode)
+	}
+	if top.Total != 2 || len(top.Sessions) != 2 {
+		t.Fatalf("total=%d sessions=%d, want 2/2", top.Total, len(top.Sessions))
+	}
+	if top.Sessions[0].ID != busy.ID {
+		t.Fatalf("busiest session not ranked first: %+v", top.Sessions)
+	}
+	// Session creation builds the session directly; only subsequent
+	// requests pass the acquire choke point, so 5 steps => 5 requests.
+	u := top.Sessions[0]
+	if u.Kind != "sim" || u.DDOps == 0 || u.Requests < 5 || u.LiveNodes == 0 {
+		t.Fatalf("usage fields implausible: %+v", u)
+	}
+}
+
+func TestSessionsTopTruncation(t *testing.T) {
+	_, srv := newSpillTestServer(t, nil)
+	for i := 0; i < 4; i++ {
+		post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, nil)
+	}
+	var top topResponse
+	get(t, srv, "/debug/sessions/top?n=2", &top)
+	if len(top.Sessions) != 2 {
+		t.Fatalf("n=2 returned %d sessions", len(top.Sessions))
+	}
+	// Total reports the untruncated population so a dashboard can say
+	// "showing 2 of 4".
+	if top.Total != 4 {
+		t.Fatalf("total = %d, want 4", top.Total)
+	}
+}
+
+func TestSessionsTopBadN(t *testing.T) {
+	_, srv := newSpillTestServer(t, nil)
+	for _, bad := range []string{"0", "-3", "x", "1.5"} {
+		resp := get(t, srv, "/debug/sessions/top?n="+bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("n=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestSessionsTopCapsN(t *testing.T) {
+	_, srv := newSpillTestServer(t, nil)
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, nil)
+	resp := get(t, srv, fmt.Sprintf("/debug/sessions/top?n=%d", maxTopN+1), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oversized n should clamp, not fail: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,159 @@
+package web
+
+// obs.WriteBundle under concurrent session churn: bundles pulled while
+// sessions are being created, stepped, and evicted must stay valid
+// tar.gz archives and always carry the accounting and watchdog
+// members. Degraded members (<name>.error.txt) are acceptable; a
+// corrupt archive is not.
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quantumdd/internal/algorithms"
+)
+
+// bundleMemberNames decompresses a bundle and returns its member names,
+// failing the test if the archive itself is damaged.
+func bundleMemberNames(t *testing.T, blob io.Reader) map[string]bool {
+	t.Helper()
+	gz, err := gzip.NewReader(blob)
+	if err != nil {
+		t.Fatalf("bundle is not valid gzip: %v", err)
+	}
+	defer gz.Close()
+	names := make(map[string]bool)
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("bundle tar stream damaged: %v", err)
+		}
+		if _, err := io.Copy(io.Discard, tr); err != nil {
+			t.Fatalf("bundle member %q unreadable: %v", hdr.Name, err)
+		}
+		names[hdr.Name] = true
+	}
+	return names
+}
+
+// hasMember accepts either the healthy member or its degraded
+// <name>.error.txt form — churn may legitimately degrade a member, but
+// it must never vanish.
+func hasMember(names map[string]bool, want string) bool {
+	return names[want] || names[want+".error.txt"]
+}
+
+func TestBundleUnderSessionChurn(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+	qasm := algorithms.GHZ(3).QASM()
+
+	// Raw HTTP for the churn goroutines: the post/get helpers call
+	// t.Fatal, which must only run on the test goroutine.
+	doPost := func(path string, body interface{}) (string, error) {
+		buf, _ := json.Marshal(body)
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var created newResp
+		_ = json.NewDecoder(resp.Body).Decode(&created)
+		return created.ID, nil
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churners: create, step, and evict sessions as fast as they can
+	// while bundles are being written. Evicting nothing is fine here —
+	// another goroutine may have reaped first.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := doPost("/api/simulation", newSimRequest{Code: qasm})
+				if err != nil {
+					return
+				}
+				_, _ = doPost("/api/simulation/"+id+"/step", stepRequest{Action: "forward"})
+				ws.reapIdle(time.Now().Add(ws.cfg.SessionTTL + time.Minute))
+			}
+		}()
+	}
+
+	for i := 0; i < 5; i++ {
+		req := httptest.NewRequest("GET", "/debug/bundle?cpu=0", nil)
+		rw := httptest.NewRecorder()
+		ws.BundleHandler().ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			t.Fatalf("bundle %d: status %d", i, rw.Code)
+		}
+		names := bundleMemberNames(t, rw.Body)
+		for _, want := range []string{"metrics.prom", "sessions/top.json", "watchdog.jsonl", "buildinfo.txt", "goroutines.txt"} {
+			if !hasMember(names, want) {
+				t.Fatalf("bundle %d missing member %q; got %v", i, want, keys(names))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestBundleSessionsTopIsValidJSON(t *testing.T) {
+	ws, srv := newSpillTestServer(t, nil)
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, nil)
+
+	req := httptest.NewRequest("GET", "/debug/bundle?cpu=0", nil)
+	rw := httptest.NewRecorder()
+	ws.BundleHandler().ServeHTTP(rw, req)
+	gz, err := gzip.NewReader(rw.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			t.Fatal("sessions/top.json not found in bundle")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Name != "sessions/top.json" {
+			continue
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), `"ddOps"`) {
+			t.Fatalf("sessions/top.json lacks accounting fields: %s", body)
+		}
+		return
+	}
+}

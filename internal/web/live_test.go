@@ -1,0 +1,156 @@
+package web
+
+// SSE live stream: frame schema, incremental frames across telemetry
+// sweeps, the timeout exemption for the streaming path, and
+// slow-consumer eviction at the hub.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"quantumdd/internal/algorithms"
+)
+
+// readSSEFrame reads one "data: {...}" frame (skipping comments and
+// non-data event lines) from an SSE stream.
+func readSSEFrame(t *testing.T, r *bufio.Reader) liveFrame {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f liveFrame
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+			t.Fatalf("frame is not valid JSON: %v\n%s", err, line)
+		}
+		return f
+	}
+	t.Fatal("no SSE data frame within deadline")
+	return liveFrame{}
+}
+
+func TestLiveStreamIncrementalFrames(t *testing.T) {
+	ws, srv := newSpillTestServer(t, func(cfg *Config) {
+		// A tight request deadline that the stream must outlive: the
+		// middleware exempts /debug/live from RequestTimeout.
+		cfg.RequestTimeout = 100 * time.Millisecond
+	})
+	ws.sampleTelemetry(time.Now())
+
+	// Create a session so the frame's Top section has content.
+	var created newResp
+	post(t, srv, "/api/simulation", newSimRequest{Code: algorithms.Bell().QASM()}, &created)
+
+	resp, err := http.Get(srv.URL + "/debug/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/live status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	first := readSSEFrame(t, br) // immediate snapshot frame on connect
+
+	// Outlive the request deadline, then drive two sweeps; each must
+	// push one incremental frame.
+	time.Sleep(150 * time.Millisecond)
+	now := time.Now()
+	ws.sampleTelemetry(now)
+	ws.sampleTelemetry(now.Add(ws.cfg.SampleInterval))
+
+	second := readSSEFrame(t, br)
+	third := readSSEFrame(t, br)
+
+	if !(first.Seq < second.Seq && second.Seq < third.Seq) {
+		t.Fatalf("frame sequence not increasing: %d, %d, %d", first.Seq, second.Seq, third.Seq)
+	}
+	// Golden schema: the load-bearing keys every consumer depends on.
+	raw, _ := json.Marshal(third)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"seq", "time", "sessions", "http", "engine", "spill", "watchdog", "top"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("frame missing %q: %s", key, raw)
+		}
+	}
+	if third.Sessions.Sim < 1 {
+		t.Fatalf("frame sessions.sim = %d, want >= 1", third.Sessions.Sim)
+	}
+	found := false
+	for _, u := range third.Top {
+		if u.ID == created.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("created session %q absent from frame top: %+v", created.ID, third.Top)
+	}
+}
+
+func TestLiveStreamDisabled(t *testing.T) {
+	_, srv := newSpillTestServer(t, func(cfg *Config) { cfg.LiveStream = false })
+	resp, err := http.Get(srv.URL + "/debug/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled live stream: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLiveHubSlowConsumerEviction(t *testing.T) {
+	ws, _ := newSpillTestServer(t, nil)
+	hub := ws.tele.hub
+
+	ch, ok := hub.subscribe()
+	if !ok {
+		t.Fatal("subscribe failed on open hub")
+	}
+	// Never read: the buffer (liveClientBuffer frames) fills, then the
+	// next broadcast must evict rather than block the sampler.
+	for i := 0; i < liveClientBuffer+1; i++ {
+		hub.broadcast([]byte("{}"))
+	}
+	select {
+	case _, open := <-ch:
+		// Drain buffered frames until the close is observed.
+		for open {
+			_, open = <-ch
+		}
+	case <-time.After(time.Second):
+		t.Fatal("evicted client's channel never closed")
+	}
+	if got := ws.metrics.liveEvicted.Value(); got != 1 {
+		t.Fatalf("live_stream_clients_evicted_total = %d, want 1", got)
+	}
+	// A healthy consumer is unaffected by the other's eviction.
+	ch2, _ := hub.subscribe()
+	hub.broadcast([]byte(`{"seq":1}`))
+	select {
+	case b := <-ch2:
+		if string(b) != `{"seq":1}` {
+			t.Fatalf("healthy consumer got %q", b)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("healthy consumer starved")
+	}
+	hub.unsubscribe(ch2)
+}

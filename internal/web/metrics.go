@@ -66,6 +66,12 @@ type serverMetrics struct {
 
 	// Flight-recorder accounting across all sessions.
 	spansDropped *obs.Counter
+
+	// Live telemetry stream (PR 8). Registered unconditionally so the
+	// family inventory is stable whether or not sampling is enabled.
+	liveClients *obs.Gauge
+	liveEvicted *obs.Counter
+	liveFrames  *obs.Counter
 }
 
 // corruptions selects the corruption counter for a session kind.
@@ -77,6 +83,9 @@ func (m *serverMetrics) corruptions(kind string) *obs.Counter {
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
+	// Process identity first, so process_start_time_seconds and
+	// build_info lead the exposition regardless of what else registers.
+	obs.RegisterProcessMetrics(r)
 	m := &serverMetrics{registry: r, dd: obs.NewDDCollector(r)}
 	classes := [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
 	for i := 1; i < len(classes); i++ {
@@ -143,6 +152,12 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		"Trajectory pool width used by the most recent /api/noisy ensemble.")
 	m.spansDropped = r.Counter("trace_spans_dropped_total",
 		"Spans evicted from per-session flight recorders (ring buffer at capacity).")
+	m.liveClients = r.Gauge("live_stream_clients",
+		"Clients currently connected to the /debug/live SSE stream.")
+	m.liveEvicted = r.Counter("live_stream_clients_evicted_total",
+		"Live-stream clients evicted for not keeping up with the frame rate.")
+	m.liveFrames = r.Counter("live_stream_frames_total",
+		"Telemetry frames broadcast to the live stream.")
 	return m
 }
 
@@ -217,19 +232,21 @@ func (s *Server) MetricsHandler() http.Handler {
 // Metrics exposes the server's registry for embedding callers.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.registry }
 
-// instrument installs the engine tracer on a session's DD package so
-// its operation latencies land in the shared histograms, and
-// publishes the initial stats snapshot for scrape-time reads. When
-// the session carries a flight recorder, the same hook also turns
-// every top-level DD operation into a child span of the active
-// request span, and ring evictions feed trace_spans_dropped_total.
-func (s *Server) instrument(p *dd.Pkg, rec *trace.Recorder) {
-	if rec == nil {
-		p.SetTracer(s.metrics.dd.Tracer())
-		return
+// instrument installs the engine tracer tee on a session's DD
+// package: the shared latency histograms, the session's resource
+// account, and (when present) the flight recorder all observe the
+// same top-level operations from one hook. Ring evictions feed
+// trace_spans_dropped_total.
+func (s *Server) instrument(p *dd.Pkg, rec *trace.Recorder, acct *sessionAccount) {
+	fns := []dd.TraceFunc{s.metrics.dd.Tracer()}
+	if acct != nil {
+		fns = append(fns, acct.ddTracer())
 	}
-	rec.OnDrop(s.metrics.spansDropped.Inc)
-	p.SetTracer(trace.Tee(s.metrics.dd.Tracer(), rec.DDTracer()))
+	if rec != nil {
+		rec.OnDrop(s.metrics.spansDropped.Inc)
+		fns = append(fns, rec.DDTracer())
+	}
+	p.SetTracer(trace.Tee(fns...))
 }
 
 // newRecorder creates a session's flight recorder, or nil when

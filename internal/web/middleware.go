@@ -66,15 +66,29 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so the SSE live stream can push
+// frames through the middleware chain. Embedding alone would hide the
+// underlying Flusher behind the statusWriter type.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withMiddleware wraps next with the hardening chain: request-ID
 // tagging, body size cap, per-request deadline, panic recovery,
 // access logging, and traffic metrics.
 func (s *Server) withMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%d", s.nextReqID.Add(1))
+		// The SSE live stream is deliberately long-lived: exempt it from
+		// the per-request deadline (which would cut every stream after
+		// RequestTimeout) and from the latency histogram (where one
+		// hour-long stream would poison the p99 the SLO gate reads).
+		streaming := r.URL.Path == "/debug/live"
 		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
 		ctx = context.WithValue(ctx, ctxKeyLogger, s.logger.With("requestId", id))
-		if s.cfg.RequestTimeout > 0 {
+		if s.cfg.RequestTimeout > 0 && !streaming {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
@@ -105,7 +119,9 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			elapsed := time.Since(start)
 			s.metrics.inFlight.Dec()
 			s.metrics.observeStatus(status)
-			s.metrics.reqDuration.ObserveSeconds(int64(elapsed))
+			if !streaming {
+				s.metrics.reqDuration.ObserveSeconds(int64(elapsed))
+			}
 			s.reqLogger(r).Info("request",
 				"method", r.Method, "path", r.URL.Path,
 				"status", status, "duration", elapsed)

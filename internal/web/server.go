@@ -34,6 +34,8 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprint(w, vis.ColorWheelSVG(160))
 	})
 	mux.Handle("GET /metrics", s.MetricsHandler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /api/examples", s.handleExamples)
 	mux.HandleFunc("POST /api/simulation", s.handleNewSimulation)
 	mux.HandleFunc("POST /api/simulation/{id}/step", s.handleSimStep)
@@ -46,7 +48,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/verification/{id}/export", s.handleVerifyExport)
 	mux.HandleFunc("POST /api/noisy", s.handleNoisy)
 	mux.HandleFunc("POST /api/functionality", s.handleFunctionality)
+	// The literal route wins over the {id} wildcard in Go 1.22 mux
+	// precedence, so "top" is never treated as a session id.
+	mux.HandleFunc("GET /debug/sessions/top", s.handleSessionsTop)
 	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleSessionTrace)
+	if s.tele != nil && s.cfg.LiveStream {
+		mux.HandleFunc("GET /debug/live", s.handleLive)
+	}
 	return s.withMiddleware(mux)
 }
 
@@ -152,7 +160,7 @@ func (s *Server) handleNewSimulation(w http.ResponseWriter, r *http.Request) {
 	// track label matches the session id in exported timelines.
 	id := s.newID("sim")
 	sess.rec = s.newRecorder(id)
-	s.instrument(sess.sim.Pkg(), sess.rec)
+	s.instrument(sess.sim.Pkg(), sess.rec, sess.acct)
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	// Render before publishing: the session is not yet reachable, so no
 	// lock is needed and a rendering panic cannot leak a broken session.
@@ -571,7 +579,7 @@ func (s *Server) handleNewVerification(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.newID("verify")
 	sess.rec = s.newRecorder(id)
-	s.instrument(sess.pkg, sess.rec)
+	s.instrument(sess.pkg, sess.rec, sess.acct)
 	style := styleFrom(r.URL.Query().Get("style"), r.URL.Query().Get("labels"))
 	frame := verifyFrame(sess, style, "identity")
 	s.metrics.verifiesCreated.Inc()

@@ -76,6 +76,10 @@ type simSession struct {
 	// disabled). Assigned once before the session is published to the
 	// registry; its Snapshot side is safe from any goroutine.
 	rec *trace.Recorder
+	// acct meters the session's cumulative resource usage (requests,
+	// DD ops, DD wall time). Assigned at construction; all-atomic, so
+	// the top endpoint and telemetry tick read it from any goroutine.
+	acct *sessionAccount
 }
 
 const superpositionEps = 1e-12
@@ -96,7 +100,7 @@ func (s *simSession) chooser() sim.OutcomeChooser {
 }
 
 func newSimSession(circ *qc.Circuit, src, format string, seed int64, maxNodes int) *simSession {
-	s := &simSession{src: src, format: format, seed: seed}
+	s := &simSession{src: src, format: format, seed: seed, acct: newSessionAccount()}
 	s.sim = sim.New(circ, sim.WithSeed(seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(s.chooser()))
 	return s
 }
@@ -125,7 +129,7 @@ func resumeSimSession(snap *snapshot.Sim, maxNodes int) (*simSession, error) {
 	if err != nil {
 		return nil, fmt.Errorf("web: restore: circuit no longer parses: %w", err)
 	}
-	s := &simSession{src: snap.Source, format: snap.Format, seed: snap.Seed}
+	s := &simSession{src: snap.Source, format: snap.Format, seed: snap.Seed, acct: newSessionAccount()}
 	s.sim, err = sim.Resume(circ, snap.Pos, snap.Classical, snap.PeakNodes,
 		func(p *dd.Pkg) (dd.VEdge, error) { return p.DecodeVectorBinary(snap.State) },
 		sim.WithSeed(snap.Seed), sim.WithMaxNodes(maxNodes), sim.WithChooser(s.chooser()))
@@ -186,6 +190,7 @@ type verifySession struct {
 	li, ri  int
 	history []verifySnapshot
 	rec     *trace.Recorder // flight recorder; nil when tracing is disabled
+	acct    *sessionAccount // resource meters; see accounting.go
 }
 
 type verifySnapshot struct {
@@ -205,7 +210,8 @@ func newVerifySession(left, right *qc.Circuit, leftSrc, rightSrc, format string,
 	v := &verifySession{
 		pkg: p, left: left, right: right,
 		leftSrc: leftSrc, rightSrc: rightSrc, format: format,
-		x: p.Ident(),
+		x:    p.Ident(),
+		acct: newSessionAccount(),
 	}
 	v.pkg.IncRefM(v.x)
 	return v, nil
@@ -425,6 +431,16 @@ type Server struct {
 	spill    *spiller
 	restores restoreFlight
 
+	// Live telemetry pipeline: nil when Config.SampleInterval is zero.
+	tele    *telemetry
+	liveSeq atomic.Uint64
+
+	// Embedder-registered readiness probes (see SetReadinessProbe).
+	probeMu sync.Mutex
+	probes  map[string]func() error
+
+	started time.Time
+
 	reaperStop chan struct{}
 	reaperDone chan struct{}
 	closeOnce  sync.Once
@@ -452,6 +468,7 @@ func NewServerWithConfig(cfg Config) *Server {
 		metrics:  newServerMetrics(cfg.registry()),
 		sims:     newRegistry[*simSession](cfg.MaxSessions, cfg.SessionTTL),
 		verifies: newRegistry[*verifySession](cfg.MaxSessions, cfg.SessionTTL),
+		started:  time.Now(),
 	}
 	if cfg.SpillDir != "" {
 		store, err := snapshot.OpenStore(cfg.SpillDir, cfg.SpillMaxBytes, nil)
@@ -463,6 +480,10 @@ func NewServerWithConfig(cfg Config) *Server {
 			s.sims.onEvict = s.spillSim
 			s.verifies.onEvict = s.spillVerify
 		}
+	}
+	if cfg.SampleInterval > 0 {
+		s.tele = s.newTelemetry()
+		go s.telemetryLoop()
 	}
 	if cfg.SessionTTL > 0 {
 		s.reaperStop = make(chan struct{})
@@ -491,6 +512,7 @@ func (s *Server) Close() {
 			close(s.reaperStop)
 			<-s.reaperDone
 		}
+		s.stopTelemetry()
 		if s.spill != nil {
 			s.spill.flush()
 		}

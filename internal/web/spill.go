@@ -182,7 +182,13 @@ func (s *Server) classifyRestoreFailure(kind string, err error) string {
 func (s *Server) acquireSim(r *http.Request, id string, now time.Time) (*handle[*simSession], error) {
 	for {
 		h, err := s.sims.acquire(id, now)
-		if err == nil || !s.spillEnabled() || !restorable(err) {
+		if err == nil {
+			// The single choke point every request to the session passes
+			// through — where the resource account counts it.
+			h.val.acct.touch()
+			return h, nil
+		}
+		if !s.spillEnabled() || !restorable(err) {
 			return h, err
 		}
 		if !s.restoreSim(r, id, now) {
@@ -195,7 +201,11 @@ func (s *Server) acquireSim(r *http.Request, id string, now time.Time) (*handle[
 func (s *Server) acquireVerify(r *http.Request, id string, now time.Time) (*handle[*verifySession], error) {
 	for {
 		h, err := s.verifies.acquire(id, now)
-		if err == nil || !s.spillEnabled() || !restorable(err) {
+		if err == nil {
+			h.val.acct.touch()
+			return h, nil
+		}
+		if !s.spillEnabled() || !restorable(err) {
 			return h, err
 		}
 		if !s.restoreVerify(r, id, now) {
@@ -252,7 +262,7 @@ func (s *Server) restoreSim(r *http.Request, id string, now time.Time) bool {
 		return false
 	}
 	sess.rec = s.newRecorder(id)
-	s.instrument(sess.sim.Pkg(), sess.rec)
+	s.instrument(sess.sim.Pkg(), sess.rec, sess.acct)
 	s.spill.forget(id)
 	if evicted := s.sims.put(id, sess, now); evicted != "" {
 		s.metrics.evictedLRU.Inc()
@@ -300,7 +310,7 @@ func (s *Server) restoreVerify(r *http.Request, id string, now time.Time) bool {
 		return false
 	}
 	sess.rec = s.newRecorder(id)
-	s.instrument(sess.pkg, sess.rec)
+	s.instrument(sess.pkg, sess.rec, sess.acct)
 	s.spill.forget(id)
 	if evicted := s.verifies.put(id, sess, now); evicted != "" {
 		s.metrics.evictedLRU.Inc()

@@ -367,7 +367,7 @@ func TestCloseStopsAllGoroutines(t *testing.T) {
 		ws := NewServerWithConfig(cfg)
 		circ := algorithms.GHZ(3)
 		sess := newSimSession(circ, circ.QASM(), "", 1, cfg.MaxNodes)
-		ws.instrument(sess.sim.Pkg(), nil)
+		ws.instrument(sess.sim.Pkg(), nil, sess.acct)
 		ws.sims.put("leakcheck", sess, time.Now())
 		ws.reapIdle(time.Now().Add(cfg.SessionTTL + time.Minute))
 		// Close must wait for the reaper AND flush the spill write that

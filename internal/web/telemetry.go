@@ -1,0 +1,175 @@
+package web
+
+// The live telemetry pipeline (PR 8).
+//
+// One background loop ties the observability subsystems together: on
+// every tick it refreshes the scrape-time gauges (collect), records
+// each live session's cumulative DD work as auto-pruned tsdb series,
+// sweeps every registered metric family into the in-process
+// time-series store, evaluates the watchdog rules over the retained
+// windows, and broadcasts an incremental frame to the /debug/live
+// subscribers. Everything hangs off this one tick, so a single
+// Config.SampleInterval governs the freshness of the tsdb, the SLO
+// burn-rate math behind /readyz, the watchdog, and the live stream.
+
+import (
+	"fmt"
+	"time"
+
+	"quantumdd/internal/obs/tsdb"
+)
+
+// Watchdog thresholds. Deliberately coarse: the watchdog flags
+// operator-grade anomalies (a GC pause spike, a cache collapse, spill
+// corruption), not per-request noise.
+const (
+	// watchGCPauseP99 flags a windowed p99 GC pause above this.
+	watchGCPauseP99 = 100 * time.Millisecond
+	// watchCTHitFloor flags an apply compute-table hit ratio below this
+	// while the table is under real load (hit-rate collapse).
+	watchCTHitFloor = 0.05
+	// watchCTMinLookups is the load floor for the collapse rule, so an
+	// idle engine's 0/0 ratio never fires it.
+	watchCTMinLookups = 1000.0
+)
+
+// telemetry owns the sampling loop's moving parts.
+type telemetry struct {
+	store *tsdb.Store
+	dog   *tsdb.Watchdog
+	hub   *liveHub
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// newTelemetry builds the store, watchdog, and live hub on the
+// server's registry. The loop itself is started by the caller.
+func (s *Server) newTelemetry() *telemetry {
+	st := tsdb.New(s.metrics.registry, tsdb.Config{
+		Interval: s.cfg.SampleInterval,
+		Capacity: s.cfg.SampleRetention,
+	})
+	t := &telemetry{
+		store: st,
+		dog:   tsdb.NewWatchdog(st, s.metrics.registry, 0, s.watchdogRules()...),
+		hub:   newLiveHub(s.metrics),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	return t
+}
+
+// watchdogRules are the built-in breach detectors over the retained
+// telemetry. The window is the SLO window so one knob tunes both.
+func (s *Server) watchdogRules() []tsdb.Rule {
+	win := s.sloWindow()
+	return []tsdb.Rule{
+		{
+			Name: "gc_pause_spike",
+			Check: func(q tsdb.Querier, now time.Time) (string, bool) {
+				p99, ok := q.Quantile("dd_gc_pause_seconds", "", 0.99, win, now)
+				if !ok || p99 <= watchGCPauseP99.Seconds() {
+					return "", false
+				}
+				return fmt.Sprintf("p99 GC pause %.3fs over %s (threshold %s)", p99, win, watchGCPauseP99), true
+			},
+		},
+		{
+			Name: "ct_hit_collapse",
+			Check: func(q tsdb.Querier, now time.Time) (string, bool) {
+				lookups, ok := q.Delta("dd_apply_table_lookups", "", win, now)
+				if !ok || lookups < watchCTMinLookups {
+					return "", false
+				}
+				ratio, ok := q.Latest("dd_compute_table_hit_ratio", "")
+				if !ok || ratio.V >= watchCTHitFloor {
+					return "", false
+				}
+				return fmt.Sprintf("compute-table hit ratio %.3f under %.0f lookups over %s", ratio.V, lookups, win), true
+			},
+		},
+		{
+			Name: "spill_corruption",
+			Check: func(q tsdb.Querier, now time.Time) (string, bool) {
+				var n float64
+				for _, kind := range []string{`kind="sim"`, `kind="verify"`} {
+					if d, ok := q.Delta("snapshot_corruptions_total", kind, win, now); ok {
+						n += d
+					}
+				}
+				if n <= 0 {
+					return "", false
+				}
+				return fmt.Sprintf("%.0f corrupt snapshot(s) rejected over %s", n, win), true
+			},
+		},
+	}
+}
+
+// telemetryLoop is the background ticker; it exits when Close fires
+// the stop channel.
+func (s *Server) telemetryLoop() {
+	defer close(s.tele.done)
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tele.stop:
+			return
+		case now := <-t.C:
+			s.sampleTelemetry(now)
+		}
+	}
+}
+
+// sampleTelemetry runs one full telemetry tick at now. Split from the
+// loop so tests drive ticks deterministically.
+func (s *Server) sampleTelemetry(now time.Time) {
+	// Refresh the scrape-time gauges first so the sweep below samples
+	// current session counts and DD aggregates, not the last scrape's.
+	s.collect()
+	usage := s.sessionUsageSnapshot()
+	for _, u := range usage {
+		labels := fmt.Sprintf("id=%q", u.ID)
+		// Cumulative per-session meters: windowed Rate/Delta over these
+		// recorded series yields the per-session dd.Stats deltas without
+		// ever exposing per-session label cardinality on /metrics. The
+		// tsdb prunes them automatically once the session goes away.
+		s.tele.store.Record("session_dd_ops", labels, float64(u.DDOps), now)
+		s.tele.store.Record("session_dd_seconds", labels, u.DDSeconds, now)
+		s.tele.store.Record("session_live_nodes", labels, float64(u.LiveNodes), now)
+		s.tele.store.Record("session_nodes_created", labels, float64(u.NodesCreated), now)
+	}
+	s.tele.store.SampleOnce(now)
+	s.tele.dog.Evaluate(now)
+	s.tele.hub.broadcast(s.liveFrameBytes(now, usage))
+}
+
+// stopTelemetry shuts the loop down and disconnects live clients;
+// called once from Close.
+func (s *Server) stopTelemetry() {
+	if s.tele == nil {
+		return
+	}
+	close(s.tele.stop)
+	<-s.tele.done
+	s.tele.hub.closeAll()
+}
+
+// Telemetry exposes the time-series store (nil when sampling is
+// disabled) for embedding callers and tests.
+func (s *Server) Telemetry() *tsdb.Store {
+	if s.tele == nil {
+		return nil
+	}
+	return s.tele.store
+}
+
+// WatchdogEvents returns the retained watchdog events, oldest first
+// (nil when sampling is disabled).
+func (s *Server) WatchdogEvents() []tsdb.Event {
+	if s.tele == nil {
+		return nil
+	}
+	return s.tele.dog.Events()
+}

@@ -16,6 +16,7 @@ package web
 // bundle".
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -104,6 +105,22 @@ func (s *Server) BundleHandler() http.Handler {
 		// inside the bundle matches what a scrape would have seen.
 		s.collect()
 		members := obs.StandardBundleMembers(s.metrics.registry, cpu)
+		// Per-session resource ranking rides in every bundle; the
+		// watchdog event log joins when telemetry is enabled.
+		members = append(members, obs.BundleMember{
+			Name: "sessions/top.json",
+			Fill: func(w io.Writer) error {
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				return enc.Encode(s.sessionUsageSnapshot())
+			},
+		})
+		if s.tele != nil {
+			members = append(members, obs.BundleMember{
+				Name: "watchdog.jsonl",
+				Fill: s.tele.dog.WriteJSONL,
+			})
+		}
 		for _, st := range s.sessionTraces() {
 			members = append(members, obs.BundleMember{
 				Name: "sessions/" + st.Name + ".trace.json",
