@@ -268,6 +268,20 @@ func BenchmarkMicroVerifyQFT6(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroVerifyQFT6Generic is the same check on the generic
+// MultMM oracle — the baseline of the matrix-apply kernel pair.
+func BenchmarkMicroVerifyQFT6Generic(b *testing.B) {
+	qft := algorithms.QFT(6)
+	comp := algorithms.QFTCompiled(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.Check(qft, comp, verify.Proportional, verify.WithGenericMM())
+		if err != nil || !res.Equivalent {
+			b.Fatalf("verification failed: %v %v", res, err)
+		}
+	}
+}
+
 // BenchmarkMicroRenderQFT times layout + SVG of the 21-node QFT DD.
 func BenchmarkMicroRenderQFT(b *testing.B) {
 	p := dd.New(3)

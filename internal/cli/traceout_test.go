@@ -82,7 +82,7 @@ func TestDdverifyTraceOut(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	joined := strings.Join(readTraceFile(t, tracePath), "\n")
-	for _, want := range []string{"ddverify", "verify-round:", "dd:multmm"} {
+	for _, want := range []string{"ddverify", "verify-round:", "dd:applygatem"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("trace lacks %q spans:\n%s", want, joined)
 		}

@@ -37,9 +37,25 @@ func (p *Pkg) trace(m MEdge, memo map[*MNode]complex128) complex128 {
 // to a global phase. Used as a numeric second opinion next to the
 // canonical root comparison.
 func (p *Pkg) HSOverlap(a, b MEdge) float64 {
-	prod := p.MultMM(p.ConjTranspose(a), b)
-	t := p.Trace(prod)
+	t := p.Trace(p.adjointProduct(a, b))
 	return cmplx.Abs(t) / float64(int64(1)<<uint(p.nqubits))
+}
+
+// adjointProduct computes a†·b. When a is recognized as an interned
+// gate's cached diagram (gateFromRoot), the product is served by the
+// matrix kernel applying the inverted descriptor directly — no
+// ConjTranspose diagram is ever materialized, and the gate cache is
+// not re-populated (the adjoint descriptor links back to the
+// original). Everything else falls back to the generic path.
+func (p *Pkg) adjointProduct(a, b MEdge) MEdge {
+	if g := p.gateFromRoot(a.N); g != nil && !a.IsZero() && !b.IsZero() &&
+		b.N != mTerminal && b.N.V >= g.target {
+		// a = (a.W/g.dd.W)·G, so a†·b = conj(a.W/g.dd.W)·(G†·b).
+		prod := p.applyGateMLTraced(b, p.gateInverse(g))
+		f := complex(real(a.W/g.dd.W), -imag(a.W/g.dd.W))
+		return p.scaleM(prod, f)
+	}
+	return p.MultMM(p.ConjTranspose(a), b)
 }
 
 // ExpectationZ returns ⟨ϕ|Z_q|ϕ⟩ = P(q=0) − P(q=1) for the unit state
@@ -98,8 +114,7 @@ func (p *Pkg) fromMatrix(rows [][]complex128, r0, c0, size int, v Var) MEdge {
 // invariance of a probe state — a cheap structural unitarity test that
 // avoids densifying the operator.
 func (p *Pkg) IsUnitaryDD(m MEdge) bool {
-	prod := p.MultMM(p.ConjTranspose(m), m)
-	return p.CheckIdentity(prod) != NotIdentity
+	return p.CheckIdentity(p.adjointProduct(m, m)) != NotIdentity
 }
 
 // PathCount returns the number of root-to-terminal paths with non-zero

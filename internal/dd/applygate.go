@@ -29,7 +29,6 @@ package dd
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"quantumdd/internal/cnum"
@@ -61,6 +60,17 @@ type appliedGate struct {
 	// and it bumps the generation doing so.
 	dd    MEdge
 	ddGen uint64
+
+	// Adjoint descriptor (gateInverse, applygatem.go): linked both
+	// ways, so inverting twice returns the original pointer and never
+	// re-interns.
+	inv *appliedGate
+
+	// Per-generation truncated gate diagrams for the identity fast
+	// path of the matrix kernel: sub[v] is the gate lowered over levels
+	// 0..v with only the controls at or below v (gateSubDD).
+	sub    []MEdge
+	subGen uint64
 }
 
 // internGate validates and canonicalizes a gate application and
@@ -90,10 +100,22 @@ func (p *Pkg) internGate(u GateMatrix, target int, controls []Control) *appliedG
 			sig.pos |= bit
 		}
 	}
+	if sig.u[1] == 0 && sig.u[2] == 0 && sig.u[0] == 1 && sig.pos != 0 {
+		// diag(1,w): the phase fires iff the target and every positive
+		// control all read 1, so target and positive controls are
+		// interchangeable. Re-target to the lowest of that set — the
+		// kernels then see the controls above the target, where the
+		// descent passes them through instead of splitting sub-blocks.
+		set := sig.pos | 1<<uint(sig.target)
+		if low := bitsLen64(set&-set) - 1; low != sig.target {
+			sig.pos = set &^ (1 << uint(low))
+			sig.target = low
+		}
+	}
 	if g, ok := p.gateIntern[sig]; ok {
 		return g
 	}
-	g := &appliedGate{gateSig: sig, hi: target, belowMask: (sig.pos | sig.neg) & (1<<uint(target) - 1)}
+	g := &appliedGate{gateSig: sig, hi: sig.target, belowMask: (sig.pos | sig.neg) & (1<<uint(sig.target) - 1)}
 	for m := sig.pos | sig.neg; m != 0; m &= m - 1 {
 		if q := bitsLen64(m) - 1; q > g.hi {
 			g.hi = q
@@ -103,7 +125,7 @@ func (p *Pkg) internGate(u GateMatrix, target int, controls []Control) *appliedG
 	for i := 1; i < 4; i++ {
 		h = hashMix(h, cnum.HashComplex(sig.u[i]))
 	}
-	h = hashMix(h, uint64(target)+1)
+	h = hashMix(h, uint64(sig.target)+1)
 	h = hashMix(h, sig.pos)
 	h = hashMix(h, sig.neg+0x9e3779b97f4a7c15)
 	g.hash = h
@@ -344,40 +366,37 @@ func (p *Pkg) MakeGateDD(u GateMatrix, target int, controls ...Control) MEdge {
 		p.stats.GateDDCacheHits++
 		return g.dd
 	}
-	e := p.buildGateDD(u, target, controls)
+	e := p.buildGateDDUpTo(g, p.nqubits-1)
 	g.dd, g.ddGen = e, p.gen
+	p.registerGateRoot(e.N, g)
 	return e
 }
 
-// buildGateDD constructs the gate diagram level by level.
-func (p *Pkg) buildGateDD(u GateMatrix, target int, controls []Control) MEdge {
-	ctrl := make([]Control, len(controls))
-	copy(ctrl, controls)
-	sort.Slice(ctrl, func(i, j int) bool { return ctrl[i].Qubit < ctrl[j].Qubit })
-	ctrlAt := func(z int) (Control, bool) {
-		i := sort.Search(len(ctrl), func(i int) bool { return ctrl[i].Qubit >= z })
-		if i < len(ctrl) && ctrl[i].Qubit == z {
-			return ctrl[i], true
-		}
-		return Control{}, false
-	}
-
+// buildGateDDUpTo constructs the gate diagram level by level over the
+// levels 0..hi only, taking the controls at or below hi from the
+// descriptor masks. MakeGateDD calls it with the full register width;
+// the matrix kernel's identity fast path requests truncated diagrams
+// (gateSubDD, applygatem.go).
+func (p *Pkg) buildGateDDUpTo(g *appliedGate, hi Var) MEdge {
 	// Entry blocks of U as seen from just above the target level,
-	// covering all levels below the target.
+	// covering all levels below the target. The signature entries were
+	// canonicalized by internGate.
 	var em [4]MEdge
-	for i, w := range u {
-		em[i] = MEdge{W: p.cn.Lookup(w), N: mTerminal}
+	for i, w := range g.u {
+		em[i] = MEdge{W: w, N: mTerminal}
 	}
 	id := MOne() // identity over the levels processed so far
-	for z := 0; z < target; z++ {
-		if c, ok := ctrlAt(z); ok {
+	for z := 0; z < g.target; z++ {
+		bit := uint64(1) << uint(z)
+		if (g.pos|g.neg)&bit != 0 {
+			neg := g.neg&bit != 0
 			for i := 0; i < 4; i++ {
 				diag := i == 0 || i == 3
 				inactive := MZero()
 				if diag {
 					inactive = id
 				}
-				if c.Neg {
+				if neg {
 					em[i] = p.makeMNode(z, [4]MEdge{em[i], MZero(), MZero(), inactive})
 				} else {
 					em[i] = p.makeMNode(z, [4]MEdge{inactive, MZero(), MZero(), em[i]})
@@ -391,17 +410,17 @@ func (p *Pkg) buildGateDD(u GateMatrix, target int, controls []Control) MEdge {
 		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})
 	}
 
-	e := p.makeMNode(target, em)
-	id = p.makeMNode(target, [4]MEdge{id, MZero(), MZero(), id})
+	e := p.makeMNode(g.target, em)
+	id = p.makeMNode(g.target, [4]MEdge{id, MZero(), MZero(), id})
 
-	for z := target + 1; z < p.nqubits; z++ {
-		if c, ok := ctrlAt(z); ok {
-			if c.Neg {
-				e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), id})
-			} else {
-				e = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), e})
-			}
-		} else {
+	for z := g.target + 1; z <= hi; z++ {
+		bit := uint64(1) << uint(z)
+		switch {
+		case g.neg&bit != 0:
+			e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), id})
+		case g.pos&bit != 0:
+			e = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), e})
+		default:
 			e = p.makeMNode(z, [4]MEdge{e, MZero(), MZero(), e})
 		}
 		id = p.makeMNode(z, [4]MEdge{id, MZero(), MZero(), id})

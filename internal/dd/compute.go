@@ -23,8 +23,8 @@ import "quantumdd/internal/cnum"
 // the evictions of a single generation exceed the current size —
 // short-lived packages stay tiny, eviction-thrashed ones grow.
 const (
-	ctDefaultLarge = 1 << 13
-	ctDefaultSmall = 1 << 11
+	ctDefaultLarge = 1 << 17
+	ctDefaultSmall = 1 << 13
 	ctMinSize      = 1 << 8
 )
 

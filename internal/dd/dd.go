@@ -148,11 +148,29 @@ type Pkg struct {
 	applyCache computeTable[applyVKey, VEdge]
 	applySplit computeTable[applyVKey, vPair]
 
+	// Matrix-apply kernel tables (applygatem.go): left/right gate
+	// products and their row/column control-split decompositions.
+	applyMLCache computeTable[applyMKey, MEdge]
+	applyMRCache computeTable[applyMKey, MEdge]
+	applyMLSplit computeTable[applyMKey, mPair]
+	applyMRSplit computeTable[applyMKey, mPair]
+	applyMLMerge computeTable[mergeMKey, MEdge]
+	applyMRMerge computeTable[mergeMKey, MEdge]
+
 	// Interned gate applications (applygate.go): canonical
 	// (matrix, target, controls) triples resolve to stable pointers
 	// that key the apply tables and carry the per-generation gate-DD
 	// cache.
 	gateIntern map[gateSig]*appliedGate
+
+	// Identity fast path of the matrix kernel (applygatem.go): the
+	// canonical per-level identity node chain, rebuilt at most once per
+	// generation, plus the reverse map from cached gate-diagram roots
+	// back to their descriptors (analysis fast paths).
+	identNodes   []*MNode
+	identGen     uint64
+	gateRoots    map[*MNode]*appliedGate
+	gateRootsGen uint64
 
 	// Roots protected from garbage collection, see IncRef/DecRef.
 	stats Stats
@@ -203,6 +221,16 @@ type Stats struct {
 	GatesFused       uint64 // gates eliminated by peephole fusion (AddGatesFused)
 	GateDDCacheHits  uint64 // MakeGateDD calls served from the gate-DD cache
 
+	// Matrix-apply kernel counters (applygatem.go), broken out the same
+	// way. ApplyMOps vs MultMMOps is the kernel-vs-generic split the
+	// verify views surface.
+	ApplyMCTLookups     uint64 // matrix apply/split compute-table lookups
+	ApplyMCTHits        uint64 // matrix apply/split compute-table hits
+	ApplyMCTEvictions   uint64 // matrix apply/split stores displacing a live entry
+	ApplyMIdentitySkips uint64 // identity sub-blocks short-circuited by the descent
+	ApplyMOps           uint64 // top-level ApplyGateML/MR invocations
+	MultMMOps           uint64 // top-level generic MultMM invocations
+
 	// Snapshot-time gauges, filled by Stats().
 	UniqueLoadV float64 // vector unique-table load factor (entries/buckets)
 	UniqueLoadM float64 // matrix unique-table load factor
@@ -235,6 +263,12 @@ func (s Stats) Add(b Stats) Stats {
 	s.ApplyCTEvictions += b.ApplyCTEvictions
 	s.GatesFused += b.GatesFused
 	s.GateDDCacheHits += b.GateDDCacheHits
+	s.ApplyMCTLookups += b.ApplyMCTLookups
+	s.ApplyMCTHits += b.ApplyMCTHits
+	s.ApplyMCTEvictions += b.ApplyMCTEvictions
+	s.ApplyMIdentitySkips += b.ApplyMIdentitySkips
+	s.ApplyMOps += b.ApplyMOps
+	s.MultMMOps += b.MultMMOps
 	s.UniqueLoadV += b.UniqueLoadV
 	s.UniqueLoadM += b.UniqueLoadM
 	s.FreeNodesV += b.FreeNodesV
@@ -258,30 +292,36 @@ func (s Stats) Delta(prev Stats) Stats {
 		return cur - old
 	}
 	return Stats{
-		NodesCreatedV:    sub(s.NodesCreatedV, prev.NodesCreatedV),
-		NodesCreatedM:    sub(s.NodesCreatedM, prev.NodesCreatedM),
-		UniqueHitsV:      sub(s.UniqueHitsV, prev.UniqueHitsV),
-		UniqueHitsM:      sub(s.UniqueHitsM, prev.UniqueHitsM),
-		CacheLookups:     sub(s.CacheLookups, prev.CacheLookups),
-		CacheHits:        sub(s.CacheHits, prev.CacheHits),
-		GCRuns:           sub(s.GCRuns, prev.GCRuns),
-		NodesFreed:       sub(s.NodesFreed, prev.NodesFreed),
-		GCPauseNS:        sub(s.GCPauseNS, prev.GCPauseNS),
-		NodesRecycledV:   sub(s.NodesRecycledV, prev.NodesRecycledV),
-		NodesRecycledM:   sub(s.NodesRecycledM, prev.NodesRecycledM),
-		UTCollisions:     sub(s.UTCollisions, prev.UTCollisions),
-		CTStores:         sub(s.CTStores, prev.CTStores),
-		CTEvictions:      sub(s.CTEvictions, prev.CTEvictions),
-		ApplyCTLookups:   sub(s.ApplyCTLookups, prev.ApplyCTLookups),
-		ApplyCTHits:      sub(s.ApplyCTHits, prev.ApplyCTHits),
-		ApplyCTEvictions: sub(s.ApplyCTEvictions, prev.ApplyCTEvictions),
-		GatesFused:       sub(s.GatesFused, prev.GatesFused),
-		GateDDCacheHits:  sub(s.GateDDCacheHits, prev.GateDDCacheHits),
-		UniqueLoadV:      s.UniqueLoadV,
-		UniqueLoadM:      s.UniqueLoadM,
-		FreeNodesV:       s.FreeNodesV,
-		FreeNodesM:       s.FreeNodesM,
-		LiveNodes:        s.LiveNodes,
+		NodesCreatedV:       sub(s.NodesCreatedV, prev.NodesCreatedV),
+		NodesCreatedM:       sub(s.NodesCreatedM, prev.NodesCreatedM),
+		UniqueHitsV:         sub(s.UniqueHitsV, prev.UniqueHitsV),
+		UniqueHitsM:         sub(s.UniqueHitsM, prev.UniqueHitsM),
+		CacheLookups:        sub(s.CacheLookups, prev.CacheLookups),
+		CacheHits:           sub(s.CacheHits, prev.CacheHits),
+		GCRuns:              sub(s.GCRuns, prev.GCRuns),
+		NodesFreed:          sub(s.NodesFreed, prev.NodesFreed),
+		GCPauseNS:           sub(s.GCPauseNS, prev.GCPauseNS),
+		NodesRecycledV:      sub(s.NodesRecycledV, prev.NodesRecycledV),
+		NodesRecycledM:      sub(s.NodesRecycledM, prev.NodesRecycledM),
+		UTCollisions:        sub(s.UTCollisions, prev.UTCollisions),
+		CTStores:            sub(s.CTStores, prev.CTStores),
+		CTEvictions:         sub(s.CTEvictions, prev.CTEvictions),
+		ApplyCTLookups:      sub(s.ApplyCTLookups, prev.ApplyCTLookups),
+		ApplyCTHits:         sub(s.ApplyCTHits, prev.ApplyCTHits),
+		ApplyCTEvictions:    sub(s.ApplyCTEvictions, prev.ApplyCTEvictions),
+		GatesFused:          sub(s.GatesFused, prev.GatesFused),
+		GateDDCacheHits:     sub(s.GateDDCacheHits, prev.GateDDCacheHits),
+		ApplyMCTLookups:     sub(s.ApplyMCTLookups, prev.ApplyMCTLookups),
+		ApplyMCTHits:        sub(s.ApplyMCTHits, prev.ApplyMCTHits),
+		ApplyMCTEvictions:   sub(s.ApplyMCTEvictions, prev.ApplyMCTEvictions),
+		ApplyMIdentitySkips: sub(s.ApplyMIdentitySkips, prev.ApplyMIdentitySkips),
+		ApplyMOps:           sub(s.ApplyMOps, prev.ApplyMOps),
+		MultMMOps:           sub(s.MultMMOps, prev.MultMMOps),
+		UniqueLoadV:         s.UniqueLoadV,
+		UniqueLoadM:         s.UniqueLoadM,
+		FreeNodesV:          s.FreeNodesV,
+		FreeNodesM:          s.FreeNodesM,
+		LiveNodes:           s.LiveNodes,
 	}
 }
 
@@ -359,6 +399,12 @@ func (p *Pkg) SetComputeTableSize(n int) {
 	p.fidCache.setSize(small)
 	p.applyCache.setSize(large)
 	p.applySplit.setSize(small)
+	p.applyMLCache.setSize(large)
+	p.applyMRCache.setSize(large)
+	p.applyMLSplit.setSize(small)
+	p.applyMRSplit.setSize(small)
+	p.applyMLMerge.setSize(large)
+	p.applyMRMerge.setSize(large)
 }
 
 // invalidateComputeTables discards all cached operation results in

@@ -34,6 +34,7 @@ const (
 	OpKron
 	OpConjTranspose
 	OpApplyGate
+	OpApplyGateM
 	OpGC
 	// NumOps bounds Op values for table-indexed collectors.
 	NumOps
@@ -56,6 +57,8 @@ func (o Op) String() string {
 		return "conjt"
 	case OpApplyGate:
 		return "applygate"
+	case OpApplyGateM:
+		return "applygatem"
 	case OpGC:
 		return "gc"
 	default:
@@ -173,6 +176,7 @@ func (p *Pkg) MultMV(m MEdge, v VEdge) VEdge {
 // MultMM computes the matrix-matrix product a·b (a applied after b),
 // used to build circuit functionality U = U_{m-1}···U_0.
 func (p *Pkg) MultMM(a, b MEdge) MEdge {
+	p.stats.MultMMOps++
 	if p.tracer == nil {
 		return p.multMM(a, b)
 	}

@@ -39,6 +39,13 @@ type DDCollector struct {
 	applyEvictions *Gauge
 	gatesFused     *Gauge
 	gateCacheHits  *Gauge
+
+	applyMLookups   *Gauge
+	applyMHits      *Gauge
+	applyMEvictions *Gauge
+	applyMSkips     *Gauge
+	mmOpsKernel     *Gauge
+	mmOpsGeneric    *Gauge
 }
 
 // NewDDCollector registers (or re-binds) the dd metric families on r.
@@ -87,6 +94,18 @@ func NewDDCollector(r *Registry) *DDCollector {
 		"Gates eliminated by peephole fusion before reaching the kernel.")
 	c.gateCacheHits = r.Gauge("dd_gate_cache_hits",
 		"MakeGateDD requests served from the per-package gate-DD cache.")
+	c.applyMLookups = r.Gauge("dd_apply_m_table_lookups",
+		"Matrix-apply kernel compute-table lookups over live packages.")
+	c.applyMHits = r.Gauge("dd_apply_m_table_hits",
+		"Matrix-apply kernel compute-table hits over live packages.")
+	c.applyMEvictions = r.Gauge("dd_apply_m_table_evictions",
+		"Matrix-apply kernel stores that displaced a live entry.")
+	c.applyMSkips = r.Gauge("dd_apply_m_identity_skips",
+		"Identity sub-blocks short-circuited by the matrix-apply descent.")
+	c.mmOpsKernel = r.Gauge("dd_mm_ops",
+		"Matrix-matrix gate applications by path.", L("path", "kernel"))
+	c.mmOpsGeneric = r.Gauge("dd_mm_ops",
+		"Matrix-matrix gate applications by path.", L("path", "generic"))
 	return c
 }
 
@@ -129,6 +148,12 @@ func (c *DDCollector) Record(st dd.Stats) {
 	c.applyEvictions.Set(float64(st.ApplyCTEvictions))
 	c.gatesFused.Set(float64(st.GatesFused))
 	c.gateCacheHits.Set(float64(st.GateDDCacheHits))
+	c.applyMLookups.Set(float64(st.ApplyMCTLookups))
+	c.applyMHits.Set(float64(st.ApplyMCTHits))
+	c.applyMEvictions.Set(float64(st.ApplyMCTEvictions))
+	c.applyMSkips.Set(float64(st.ApplyMIdentitySkips))
+	c.mmOpsKernel.Set(float64(st.ApplyMOps))
+	c.mmOpsGeneric.Set(float64(st.MultMMOps))
 }
 
 // AddStats accumulates b into a for building fleet-wide aggregates

@@ -74,20 +74,145 @@ type Result struct {
 	Strategy        Strategy
 	PeakNodes       int // maximum DD size observed
 	FinalNodes      int
-	MultOps         int // number of DD matrix multiplications
+	MultOps         int      // number of gate-application steps
+	KernelOps       int      // applications served by the direct matrix kernel
+	GenericOps      int      // applications served by generic MultMM
+	Root            dd.MEdge // canonical root edge of the final diagram
 	Trace           []StepRecord
 }
 
-// gateDD lowers one unitary circuit op to its matrix DD.
-func gateDD(p *dd.Pkg, op *qc.Op) dd.MEdge {
+// Option configures a check run.
+type Option func(*config)
+
+type config struct {
+	genericMM bool
+}
+
+// WithGenericMM routes every gate application through the generic
+// MultMM on materialized gate diagrams instead of the direct
+// matrix-apply kernel (dd.ApplyGateML/MR). This is the differential-
+// testing oracle and the A/B baseline of the V1 benchmark; canonicity
+// guarantees both engines produce pointer-identical root edges on the
+// same package.
+func WithGenericMM() Option { return func(c *config) { c.genericMM = true } }
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// ddControls converts a circuit op's control lines.
+func ddControls(op *qc.Op) []dd.Control {
 	ctl := make([]dd.Control, len(op.Controls))
 	for i, c := range op.Controls {
 		ctl[i] = dd.Control{Qubit: c.Qubit, Neg: c.Neg}
 	}
+	return ctl
+}
+
+// gateDD lowers one unitary circuit op to its matrix DD.
+func gateDD(p *dd.Pkg, op *qc.Op) dd.MEdge {
+	ctl := ddControls(op)
 	if op.Gate == qc.Swap {
 		return p.MakeSwapDD(op.Targets[0], op.Targets[1], ctl...)
 	}
 	return p.MakeGateDD(dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ctl...)
+}
+
+// notX is the Pauli-X block used to decompose SWAP into three CNOTs
+// for the kernel path (the same decomposition MakeSwapDD lowers).
+var notX = dd.GateMatrix{0, 1, 1, 0}
+
+// engine dispatches one gate application to the matrix kernel or the
+// generic multiply, tallying the split for Result and the web views.
+type engine struct {
+	p          *dd.Pkg
+	generic    bool
+	kernelOps  int
+	genericOps int
+}
+
+// swapCNOTs yields the three CNOT (matrix, target, controls) triples
+// of a (controlled) SWAP. The palindromic order works from either
+// side: S·X and X·S both consume cx1, cx2, cx1.
+func swapCNOTs(op *qc.Op) [3]struct {
+	target int
+	ctl    []dd.Control
+} {
+	base := ddControls(op)
+	a, b := op.Targets[0], op.Targets[1]
+	c1 := append(append([]dd.Control{}, base...), dd.Control{Qubit: a})
+	c2 := append(append([]dd.Control{}, base...), dd.Control{Qubit: b})
+	return [3]struct {
+		target int
+		ctl    []dd.Control
+	}{{b, c1}, {a, c2}, {b, c1}}
+}
+
+// left computes U·x, right computes x·U, for the op as given (callers
+// pre-invert ops consumed from the right side).
+func (e *engine) left(x dd.MEdge, op *qc.Op) dd.MEdge {
+	if e.generic {
+		e.genericOps++
+		return e.p.MultMM(gateDD(e.p, op), x)
+	}
+	if op.Gate == qc.Swap {
+		for _, cx := range swapCNOTs(op) {
+			x = e.p.ApplyGateML(x, notX, cx.target, cx.ctl...)
+		}
+		e.kernelOps += 3
+		return x
+	}
+	e.kernelOps++
+	return e.p.ApplyGateML(x, dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ddControls(op)...)
+}
+
+func (e *engine) right(x dd.MEdge, op *qc.Op) dd.MEdge {
+	if e.generic {
+		e.genericOps++
+		return e.p.MultMM(x, gateDD(e.p, op))
+	}
+	if op.Gate == qc.Swap {
+		for _, cx := range swapCNOTs(op) {
+			x = e.p.ApplyGateMR(x, notX, cx.target, cx.ctl...)
+		}
+		e.kernelOps += 3
+		return x
+	}
+	e.kernelOps++
+	return e.p.ApplyGateMR(x, dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ddControls(op)...)
+}
+
+// leftChecked is left under the node budget. The SWAP decomposition
+// ref-protects its intermediates: a checked call may garbage-collect
+// on entry, which would otherwise sweep the previous CNOT's result.
+func (e *engine) leftChecked(x dd.MEdge, op *qc.Op) (dd.MEdge, error) {
+	if e.generic {
+		e.genericOps++
+		return e.p.MultMMChecked(gateDD(e.p, op), x)
+	}
+	if op.Gate == qc.Swap {
+		cur := x
+		e.p.IncRefM(cur)
+		for _, cx := range swapCNOTs(op) {
+			next, err := e.p.ApplyGateMLChecked(cur, notX, cx.target, cx.ctl...)
+			if err != nil {
+				e.p.DecRefM(cur)
+				return dd.MZero(), err
+			}
+			e.p.IncRefM(next)
+			e.p.DecRefM(cur)
+			cur = next
+		}
+		e.kernelOps += 3
+		e.p.DecRefM(cur)
+		return cur, nil
+	}
+	e.kernelOps++
+	return e.p.ApplyGateMLChecked(x, dd.GateMatrix(qc.Matrix2(op.Gate, op.Params)), op.Targets[0], ddControls(op)...)
 }
 
 // unitaryOps filters the gate operations of a circuit (barriers are
@@ -104,21 +229,25 @@ func unitaryOps(c *qc.Circuit) []*qc.Op {
 
 // BuildFunctionality constructs the system matrix U = U_{m-1}···U_0 of
 // the circuit as a matrix DD, recording the node count after each
-// multiplication.
-func BuildFunctionality(p *dd.Pkg, c *qc.Circuit) (dd.MEdge, []StepRecord, error) {
-	return buildFunctionality(context.Background(), p, c)
+// application. Gates are multiplied in by the matrix kernel unless
+// WithGenericMM selects the generic path.
+func BuildFunctionality(p *dd.Pkg, c *qc.Circuit, opts ...Option) (dd.MEdge, []StepRecord, error) {
+	cfg := buildConfig(opts)
+	eng := &engine{p: p, generic: cfg.genericMM}
+	return buildFunctionality(context.Background(), eng, c)
 }
 
-func buildFunctionality(ctx context.Context, p *dd.Pkg, c *qc.Circuit) (dd.MEdge, []StepRecord, error) {
+func buildFunctionality(ctx context.Context, eng *engine, c *qc.Circuit) (dd.MEdge, []StepRecord, error) {
 	if c.HasNonUnitary() {
 		return dd.MZero(), nil, fmt.Errorf("verify: circuit %q contains non-unitary operations", c.Name)
 	}
+	p := eng.p
 	u := p.Ident()
 	p.IncRefM(u)
 	var recs []StepRecord
 	for _, op := range unitaryOps(c) {
 		_, sp := trace.StartSpan(ctx, "verify:apply")
-		next, err := p.MultMMChecked(gateDD(p, op), u)
+		next, err := eng.leftChecked(u, op)
 		if err != nil {
 			sp.End()
 			p.DecRefM(u)
@@ -139,19 +268,19 @@ func buildFunctionality(ctx context.Context, p *dd.Pkg, c *qc.Circuit) (dd.MEdge
 // Check decides the equivalence of two circuits using the given
 // strategy. The circuits must have equal register widths — the tool
 // imposes the same restriction (Sec. IV-C).
-func Check(c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+func Check(c1, c2 *qc.Circuit, strategy Strategy, opts ...Option) (*Result, error) {
 	if c1.NQubits != c2.NQubits {
 		return nil, fmt.Errorf("verify: qubit counts differ (%d vs %d); ancillary registers are not supported", c1.NQubits, c2.NQubits)
 	}
-	return CheckOn(dd.New(c1.NQubits), c1, c2, strategy)
+	return CheckOn(dd.New(c1.NQubits), c1, c2, strategy, opts...)
 }
 
 // CheckOn is Check running on a caller-supplied DD package, so the
 // caller keeps a handle on the engine for statistics after the run
 // (ddverify's -metrics-dump). The package must be at least as wide as
 // the circuits.
-func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
-	return CheckOnCtx(context.Background(), p, c1, c2, strategy)
+func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy, opts ...Option) (*Result, error) {
+	return CheckOnCtx(context.Background(), p, c1, c2, strategy, opts...)
 }
 
 // CheckOnCtx is CheckOn under a trace context: with a flight recorder
@@ -160,28 +289,30 @@ func CheckOn(p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) 
 // node count — with the engine's matrix multiplications as child
 // spans, so a blown-up verify run shows exactly which application
 // left the vicinity of the identity.
-func CheckOnCtx(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+func CheckOnCtx(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy, opts ...Option) (*Result, error) {
 	if c1.NQubits != c2.NQubits {
 		return nil, fmt.Errorf("verify: qubit counts differ (%d vs %d); ancillary registers are not supported", c1.NQubits, c2.NQubits)
 	}
 	if c1.HasNonUnitary() || c2.HasNonUnitary() {
 		return nil, fmt.Errorf("verify: measurements, resets and classically-controlled operations are not supported in verification")
 	}
+	cfg := buildConfig(opts)
+	eng := &engine{p: p, generic: cfg.genericMM}
 	switch strategy {
 	case Construction:
-		return checkConstruction(ctx, p, c1, c2)
+		return checkConstruction(ctx, eng, c1, c2)
 	default:
-		return checkAlternating(ctx, p, c1, c2, strategy)
+		return checkAlternating(ctx, eng, c1, c2, strategy)
 	}
 }
 
-func checkConstruction(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit) (*Result, error) {
+func checkConstruction(ctx context.Context, eng *engine, c1, c2 *qc.Circuit) (*Result, error) {
 	res := &Result{Strategy: Construction}
-	u1, t1, err := buildFunctionality(ctx, p, c1)
+	u1, t1, err := buildFunctionality(ctx, eng, c1)
 	if err != nil {
 		return nil, err
 	}
-	u2, t2, err := buildFunctionality(ctx, p, c2)
+	u2, t2, err := buildFunctionality(ctx, eng, c2)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +334,8 @@ func checkConstruction(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit) (*Res
 	}
 	// Canonicity: equality of the diagrams is root-edge equality.
 	res.FinalNodes = dd.SizeM(u1)
+	res.Root = u1
+	res.KernelOps, res.GenericOps = eng.kernelOps, eng.genericOps
 	if u1 == u2 {
 		res.Equivalent = true
 	} else if u1.N == u2.N {
@@ -263,7 +396,8 @@ func schedule(strategy Strategy, m1, m2 int) []bool {
 	return out
 }
 
-func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+func checkAlternating(ctx context.Context, eng *engine, c1, c2 *qc.Circuit, strategy Strategy) (*Result, error) {
+	p := eng.p
 	g1 := unitaryOps(c1)
 	g2 := unitaryOps(c2)
 	res := &Result{Strategy: strategy}
@@ -283,7 +417,7 @@ func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strate
 	applyLeft := func(op *qc.Op) {
 		// X ← U_i · X  (consume G from the left side)
 		_, sp := trace.StartSpan(ctx, "verify-round:G")
-		next := p.MultMM(gateDD(p, op), x)
+		next := eng.left(x, op)
 		p.IncRefM(next)
 		p.DecRefM(x)
 		x = next
@@ -296,7 +430,7 @@ func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strate
 		_, sp := trace.StartSpan(ctx, "verify-round:G'")
 		g, params := qc.InverseGate(op.Gate, op.Params)
 		invOp := qc.Op{Kind: qc.KindGate, Gate: g, Params: params, Targets: op.Targets, Controls: op.Controls}
-		next := p.MultMM(x, gateDD(p, &invOp))
+		next := eng.right(x, &invOp)
 		p.IncRefM(next)
 		p.DecRefM(x)
 		x = next
@@ -316,10 +450,10 @@ func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strate
 			default:
 				// Try both sides, keep the smaller result.
 				_, sp := trace.StartSpan(ctx, "verify-round:lookahead")
-				left := p.MultMM(gateDD(p, g1[i]), x)
+				left := eng.left(x, g1[i])
 				gInv, params := qc.InverseGate(g2[j].Gate, g2[j].Params)
 				invOp := qc.Op{Kind: qc.KindGate, Gate: gInv, Params: params, Targets: g2[j].Targets, Controls: g2[j].Controls}
-				right := p.MultMM(x, gateDD(p, &invOp))
+				right := eng.right(x, &invOp)
 				res.MultOps++ // the discarded probe
 				if dd.SizeM(left) <= dd.SizeM(right) {
 					p.IncRefM(left)
@@ -351,6 +485,8 @@ func checkAlternating(ctx context.Context, p *dd.Pkg, c1, c2 *qc.Circuit, strate
 	}
 
 	res.FinalNodes = dd.SizeM(x)
+	res.Root = x
+	res.KernelOps, res.GenericOps = eng.kernelOps, eng.genericOps
 	switch p.CheckIdentity(x) {
 	case dd.IdentityExact:
 		res.Equivalent = true

@@ -72,6 +72,12 @@ type sessionUsage struct {
 	ApplyCTLookups uint64 `json:"applyCtLookups"`
 	ApplyCTHits    uint64 `json:"applyCtHits"`
 	GCRuns         uint64 `json:"gcRuns"`
+	// Matrix-apply kernel split (verify sessions): how much of the
+	// session's gate work the identity-skipping kernel absorbed versus
+	// the generic MultMM fallback.
+	ApplyMCTHits uint64 `json:"applyMCtHits"`
+	KernelOps    uint64 `json:"kernelOps"`
+	GenericOps   uint64 `json:"genericOps"`
 }
 
 func usageFrom(id, kind string, acct *sessionAccount, st dd.Stats, now time.Time) sessionUsage {
@@ -83,6 +89,9 @@ func usageFrom(id, kind string, acct *sessionAccount, st dd.Stats, now time.Time
 		ApplyCTLookups: st.ApplyCTLookups,
 		ApplyCTHits:    st.ApplyCTHits,
 		GCRuns:         st.GCRuns,
+		ApplyMCTHits:   st.ApplyMCTHits,
+		KernelOps:      st.ApplyMOps,
+		GenericOps:     st.MultMMOps,
 	}
 	if acct != nil {
 		u.Requests = acct.requests.Load()

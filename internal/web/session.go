@@ -188,6 +188,7 @@ type verifySession struct {
 	// positions index into the circuits' op lists (barriers are
 	// skipped transparently but delimit RunToBarrier).
 	li, ri  int
+	peak    int // largest node count the product diagram has reached
 	history []verifySnapshot
 	rec     *trace.Recorder // flight recorder; nil when tracing is disabled
 	acct    *sessionAccount // resource meters; see accounting.go
@@ -214,6 +215,7 @@ func newVerifySession(left, right *qc.Circuit, leftSrc, rightSrc, format string,
 		acct: newSessionAccount(),
 	}
 	v.pkg.IncRefM(v.x)
+	v.peak = dd.SizeM(v.x)
 	return v, nil
 }
 
@@ -261,6 +263,7 @@ func resumeVerifySession(snap *snapshot.Verify, maxNodes int) (*verifySession, e
 	v.pkg.DecRefM(v.x)
 	v.x = x
 	v.li, v.ri = snap.LI, snap.RI
+	v.peak = dd.SizeM(v.x)
 	return v, nil
 }
 
@@ -277,6 +280,32 @@ func (v *verifySession) gateDD(op *qc.Op, invert bool) dd.MEdge {
 		return v.pkg.MakeSwapDD(op.Targets[0], op.Targets[1], ctl...)
 	}
 	return v.pkg.MakeGateDD(dd.GateMatrix(qc.Matrix2(g, params)), op.Targets[0], ctl...)
+}
+
+// applyOp multiplies one gate into the product diagram: G ops from the
+// left (U·x), G′ ops inverted from the right (x·U⁻¹). Plain gates go
+// through the matrix-apply kernel (the identity-skipping descent of
+// ApplyGateML/MR); SWAP — a two-target permutation the 2×2 kernel
+// cannot express in one call — stays on the materialized gate DD and
+// the generic checked multiply.
+func (v *verifySession) applyOp(op *qc.Op, side string) (dd.MEdge, error) {
+	if op.Gate == qc.Swap {
+		if side == "left" {
+			return v.pkg.MultMMChecked(v.gateDD(op, false), v.x)
+		}
+		return v.pkg.MultMMChecked(v.x, v.gateDD(op, true))
+	}
+	ctl := make([]dd.Control, len(op.Controls))
+	for i, c := range op.Controls {
+		ctl[i] = dd.Control{Qubit: c.Qubit, Neg: c.Neg}
+	}
+	if side == "left" {
+		u := dd.GateMatrix(qc.Matrix2(op.Gate, op.Params))
+		return v.pkg.ApplyGateMLChecked(v.x, u, op.Targets[0], ctl...)
+	}
+	g, params := qc.InverseGate(op.Gate, op.Params)
+	u := dd.GateMatrix(qc.Matrix2(g, params))
+	return v.pkg.ApplyGateMRChecked(v.x, u, op.Targets[0], ctl...)
 }
 
 // stepSide applies the next gate of the chosen side ("left" = G,
@@ -306,13 +335,7 @@ func (v *verifySession) stepSide(ctx context.Context, side string) (string, erro
 		_, sp = trace.StartSpan(ctx, "verify:"+side+" "+op.String())
 		sp.SetAttr("nodes_before", int64(dd.SizeM(v.x)))
 	}
-	var next dd.MEdge
-	var err error
-	if side == "left" {
-		next, err = v.pkg.MultMMChecked(v.gateDD(op, false), v.x)
-	} else {
-		next, err = v.pkg.MultMMChecked(v.x, v.gateDD(op, true))
-	}
+	next, err := v.applyOp(op, side)
 	if err != nil {
 		if errors.Is(err, dd.ErrResourceExhausted) {
 			sp.SetAttr("budget_exhausted", 1)
@@ -322,7 +345,11 @@ func (v *verifySession) stepSide(ctx context.Context, side string) (string, erro
 		// the user can undo their way back below the budget.
 		return "", err
 	}
-	sp.SetAttr("nodes_after", int64(dd.SizeM(next)))
+	n := dd.SizeM(next)
+	sp.SetAttr("nodes_after", int64(n))
+	if n > v.peak {
+		v.peak = n
+	}
 	sp.End()
 	v.history = append(v.history, verifySnapshot{x: v.x, li: v.li, ri: v.ri})
 	v.pkg.IncRefM(v.x) // snapshot reference
@@ -615,6 +642,15 @@ type EngineStats struct {
 	ApplyEvictions  uint64 `json:"applyEvictions"`
 	GatesFused      uint64 `json:"gatesFused"`
 	GateDDCacheHits uint64 `json:"gateDDCacheHits"`
+	// Matrix-apply kernel counters (PR 9). KernelOps vs GenericOps is
+	// the per-session split between the identity-skipping matrix kernel
+	// and the generic MultMM fallback (SWAPs, restored sessions).
+	ApplyMLookups       uint64 `json:"applyMLookups"`
+	ApplyMHits          uint64 `json:"applyMHits"`
+	ApplyMEvictions     uint64 `json:"applyMEvictions"`
+	ApplyMIdentitySkips uint64 `json:"applyMIdentitySkips"`
+	KernelOps           uint64 `json:"kernelOps"`
+	GenericOps          uint64 `json:"genericOps"`
 }
 
 func engineStats(p *dd.Pkg) *EngineStats {
@@ -635,6 +671,13 @@ func engineStats(p *dd.Pkg) *EngineStats {
 		ApplyEvictions:  st.ApplyCTEvictions,
 		GatesFused:      st.GatesFused,
 		GateDDCacheHits: st.GateDDCacheHits,
+
+		ApplyMLookups:       st.ApplyMCTLookups,
+		ApplyMHits:          st.ApplyMCTHits,
+		ApplyMEvictions:     st.ApplyMCTEvictions,
+		ApplyMIdentitySkips: st.ApplyMIdentitySkips,
+		KernelOps:           st.ApplyMOps,
+		GenericOps:          st.MultMMOps,
 	}
 }
 
@@ -663,6 +706,7 @@ func verifyFrame(v *verifySession, style vis.Style, caption string) Frame {
 		Caption:   caption,
 		Pos:       gatesBefore(v.left, v.li) + gatesBefore(v.right, v.ri),
 		Total:     v.left.NumGates() + v.right.NumGates(),
+		PeakNodes: v.peak,
 		LevelHist: v.pkg.SizeByLevelM(v.x),
 		Engine:    engineStats(v.pkg),
 	}
