@@ -68,6 +68,8 @@ func All() []Experiment {
 			Paper: "identity-stripped matrix apply beats gate-DD multiply in the alternating checker", Run: runV1},
 		{ID: "N1", Title: "Parallel trajectories: sharded replica pool vs sequential",
 			Paper: "one-simulation-per-shot sampling is embarrassingly parallel; results stay bit-identical", Run: runN1},
+		{ID: "S1", Title: "Shape profiler: sampling overhead and example structure",
+			Paper: "per-level occupancy, sharing, and identity padding at bounded amortized cost", Run: runS1},
 	}
 }
 

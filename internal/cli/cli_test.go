@@ -176,6 +176,36 @@ func TestDddrawOutputs(t *testing.T) {
 	}
 }
 
+func TestDddrawShapeReport(t *testing.T) {
+	circ := writeTemp(t, "bell.qasm", "qreg q[2];\nh q[1];\ncx q[1],q[0];\n")
+	var out, errb strings.Builder
+	if code := RunDddraw([]string{"-shape", circ}, &out, &errb); code != 0 {
+		t.Fatalf("state shape: exit %d: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"shape: vector DD, 2 levels",
+		"sharing:",
+		"level  nodes  edges  ut-load  occupancy",
+		"edge-weight magnitudes",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("state shape report lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "identity padding") {
+		t.Error("vector report must not carry the identity-padding row")
+	}
+	out.Reset()
+	if code := RunDddraw([]string{"-what", "functionality", "-shape", circ}, &out, &errb); code != 0 {
+		t.Fatalf("functionality shape: exit %d: %s", code, errb.String())
+	}
+	got = out.String()
+	if !strings.Contains(got, "shape: matrix DD, 2 levels") || !strings.Contains(got, "identity padding:") {
+		t.Errorf("functionality shape report wrong:\n%s", got)
+	}
+}
+
 func TestDddrawErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := RunDddraw([]string{}, &out, &errb); code != 2 {

@@ -21,8 +21,38 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 	metricsDump := fs.Bool("metrics-dump", false, "print a Prometheus metrics snapshot of the engines after the run")
 	traceOut := fs.String("trace-out", "", "write the run's span timeline to this file as Chrome trace-event JSON")
 	sampleInterval := fs.Duration("sample-interval", 0, "run the in-process telemetry sampler at this interval during the experiments (0 = off); pairs a run with and without it to measure sampler overhead")
+	baseline := fs.String("baseline", "", "compare the run's summary metrics against this BENCH_prN.json and exit nonzero on regressions (machine-portable metrics only)")
+	baselineThreshold := fs.Float64("baseline-threshold", 0.2, "relative tolerance for -baseline comparisons (0.2 = 20%)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var base *bench.BaselineFile
+	if *baseline != "" {
+		// Load before running so a bad path fails fast, not after
+		// minutes of experiments.
+		b, err := bench.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "ddbench:", err)
+			return 2
+		}
+		base = b
+	}
+	checkBaseline := func(current bench.Summary) int {
+		if base == nil {
+			return 0
+		}
+		regs := bench.CompareBaseline(base.After.Ddbench, current, *baselineThreshold)
+		if len(regs) == 0 {
+			fmt.Fprintf(stderr, "baseline %s (PR %d): no regressions past %.0f%%\n",
+				*baseline, base.PR, *baselineThreshold*100)
+			return 0
+		}
+		fmt.Fprintf(stderr, "ddbench: %d regression(s) against %s (PR %d):\n",
+			len(regs), *baseline, base.PR)
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
 	}
 	var md *metricsDumper
 	if *metricsDump {
@@ -93,11 +123,18 @@ func RunDdbench(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		bench.PrintSummary(stdout, s)
-		return 0
+		return checkBaseline(s)
 	}
-	if _, err := bench.RunAll(stdout); err != nil {
+	all, err := bench.RunAll(stdout)
+	if err != nil {
 		fmt.Fprintln(stderr, "ddbench:", err)
 		return 1
 	}
-	return 0
+	merged := bench.Summary{}
+	for _, s := range all {
+		for k, v := range s {
+			merged[k] = v
+		}
+	}
+	return checkBaseline(merged)
 }

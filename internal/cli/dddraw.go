@@ -24,6 +24,7 @@ func RunDddraw(args []string, stdout, stderr io.Writer) int {
 	formatFlag := fs.String("format", "", "input format: qasm, real, or auto")
 	seed := fs.Int64("seed", 1, "measurement sampling seed (state mode)")
 	wheel := fs.Bool("colorwheel", false, "emit the HLS phase color wheel instead of a diagram")
+	shape := fs.Bool("shape", false, "print an ASCII structural profile (per-level occupancy, sharing, identity padding) instead of rendering")
 	animate := fs.Bool("animate", false, "emit a SMIL-animated SVG cycling one frame per simulation step")
 	frameDur := fs.Float64("framedur", 1.0, "seconds per animation frame")
 	if err := fs.Parse(args); err != nil {
@@ -80,13 +81,21 @@ func RunDddraw(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "dddraw:", err)
 			return 1
 		}
+		if *shape {
+			prof := s.Pkg().ShapeV(s.State())
+			return emit(shapeReport(&prof))
+		}
 		fmt.Fprintf(stderr, "final state: %d nodes\n", dd.SizeV(s.State()))
 		g = vis.FromVector(s.State())
 	case "functionality":
-		u, _, err := core.Functionality(circ)
+		u, p, err := core.Functionality(circ)
 		if err != nil {
 			fmt.Fprintln(stderr, "dddraw:", err)
 			return 1
+		}
+		if *shape {
+			prof := p.ShapeM(u)
+			return emit(shapeReport(&prof))
 		}
 		fmt.Fprintf(stderr, "functionality: %d nodes\n", dd.SizeM(u))
 		g = vis.FromMatrix(u)

@@ -1,0 +1,64 @@
+package cli
+
+// ASCII rendering of a dd.ShapeProfile for dddraw -shape: the
+// terminal-friendly counterpart of GET /debug/sessions/{id}/shape.
+// Levels print top-down (the root's level first) to match the drawn
+// diagrams, with occupancy bars scaled to the widest level.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quantumdd/internal/dd"
+)
+
+// shapeBarWidth is the widest occupancy/histogram bar in runes.
+const shapeBarWidth = 40
+
+func shapeBar(v, max float64) string {
+	if v <= 0 || max <= 0 {
+		return ""
+	}
+	n := int(math.Round(v / max * shapeBarWidth))
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// shapeReport renders the profile as a plain-text table.
+func shapeReport(p *dd.ShapeProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shape: %s DD, %d levels, %d nodes, %d edges\n",
+		p.Kind, p.Levels, p.Nodes, p.Edges)
+	fmt.Fprintf(&b, "sharing: %.0f tree nodes / %d DD nodes = %.2fx\n",
+		p.TreeNodes, p.Nodes, p.SharingFactor)
+	if p.Kind == "matrix" {
+		fmt.Fprintf(&b, "identity padding: %.1f%% of the tree expansion\n",
+			p.IdentityFraction*100)
+	}
+	fmt.Fprintf(&b, "\nlevel  nodes  edges  ut-load  occupancy\n")
+	for v := p.Levels - 1; v >= 0; v-- {
+		fmt.Fprintf(&b, "%5d  %5d  %5d  %7.3f  %s\n",
+			v, p.NodesPerLevel[v], p.EdgesPerLevel[v], p.UTLoad[v],
+			shapeBar(float64(p.NodesPerLevel[v]), float64(p.MaxLevelNodes)))
+	}
+	maxCount := 0
+	for _, c := range p.WeightHist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Fprintf(&b, "\nedge-weight magnitudes (%d nonzero edges)\n", p.Edges)
+	for k := len(p.WeightHist) - 1; k >= 0; k-- {
+		c := p.WeightHist[k]
+		if c == 0 {
+			continue
+		}
+		lo, hi := dd.ShapeWeightBucketBounds(k)
+		fmt.Fprintf(&b, "  [%8.3g, %8.3g)  %6d  %s\n",
+			lo, hi, c, shapeBar(float64(c), float64(maxCount)))
+	}
+	return b.String()
+}

@@ -189,6 +189,15 @@ type Pkg struct {
 	tracer    TraceFunc
 	tracedOps uint64
 	statsSnap atomic.Pointer[Stats]
+
+	// Shape profiling (see shape.go): shapeEvery strides MaybeShapeV/M
+	// sampling, shapeTick counts calls since the last profile, shapeSeq
+	// numbers published profiles, and shapeSnap is the atomically
+	// published latest profile other goroutines read via LastShape.
+	shapeEvery int
+	shapeTick  int
+	shapeSeq   uint64
+	shapeSnap  atomic.Pointer[ShapeProfile]
 }
 
 // Stats aggregates package counters, exposed for the benchmark

@@ -1,0 +1,100 @@
+package obs
+
+// ShapeCollector bridges the dd shape profiler into the registry. The
+// web server records, at each scrape/telemetry tick, the structurally
+// largest recently published profile per diagram kind across all live
+// sessions (the diagram an operator worries about) plus the
+// fleet-wide count of profiles taken; the CLI tools record the final
+// profile of a run. Both use the same family names, so CLI runs and
+// server dashboards line up, mirroring DDCollector.
+
+import "quantumdd/internal/dd"
+
+// shapeKindGauges holds one kind-labelled gauge set.
+type shapeKindGauges struct {
+	nodes         *Gauge
+	edges         *Gauge
+	maxLevelNodes *Gauge
+	widestLevel   *Gauge
+	sharing       *Gauge
+	profiles      *Gauge
+}
+
+// ShapeCollector owns the dd_shape_* metric series of one registry.
+type ShapeCollector struct {
+	vector   shapeKindGauges
+	matrix   shapeKindGauges
+	identity *Gauge
+}
+
+func newShapeKindGauges(r *Registry, kind string) shapeKindGauges {
+	l := L("kind", kind)
+	return shapeKindGauges{
+		nodes: r.Gauge("dd_shape_nodes",
+			"Nodes in the largest recently profiled diagram.", l),
+		edges: r.Gauge("dd_shape_edges",
+			"Non-zero edges in the largest recently profiled diagram.", l),
+		maxLevelNodes: r.Gauge("dd_shape_max_level_nodes",
+			"Occupancy of the widest level of the largest recently profiled diagram.", l),
+		widestLevel: r.Gauge("dd_shape_widest_level",
+			"Index of the widest level of the largest recently profiled diagram.", l),
+		sharing: r.Gauge("dd_shape_sharing_factor",
+			"Decision-tree nodes per diagram node of the largest recently profiled diagram.", l),
+		profiles: r.Gauge("dd_shape_profiles",
+			"Shape profiles taken over live packages.", l),
+	}
+}
+
+// NewShapeCollector registers (or re-binds) the shape families on r.
+func NewShapeCollector(r *Registry) *ShapeCollector {
+	return &ShapeCollector{
+		vector: newShapeKindGauges(r, "vector"),
+		matrix: newShapeKindGauges(r, "matrix"),
+		identity: r.Gauge("dd_shape_identity_fraction",
+			"Identity-padding fraction of the largest recently profiled matrix diagram."),
+	}
+}
+
+func (g *shapeKindGauges) record(p *dd.ShapeProfile, profiles uint64) {
+	g.profiles.Set(float64(profiles))
+	if p == nil {
+		g.nodes.Set(0)
+		g.edges.Set(0)
+		g.maxLevelNodes.Set(0)
+		g.widestLevel.Set(0)
+		g.sharing.Set(0)
+		return
+	}
+	g.nodes.Set(float64(p.Nodes))
+	g.edges.Set(float64(p.Edges))
+	g.maxLevelNodes.Set(float64(p.MaxLevelNodes))
+	g.widestLevel.Set(float64(p.WidestLevel))
+	g.sharing.Set(p.SharingFactor)
+}
+
+// Record sets the shape gauges from the representative profiles of
+// one collection sweep. Either profile may be nil (no diagram of that
+// kind profiled yet), which zeroes the structural gauges while the
+// cumulative profile counters keep their sweep totals.
+func (c *ShapeCollector) Record(vec, mat *dd.ShapeProfile, vecProfiles, matProfiles uint64) {
+	c.vector.record(vec, vecProfiles)
+	c.matrix.record(mat, matProfiles)
+	if mat != nil {
+		c.identity.Set(mat.IdentityFraction)
+	} else {
+		c.identity.Set(0)
+	}
+}
+
+// MaxShape returns the structurally larger of two profiles, by node
+// count — the reduction collection sweeps use to pick the
+// representative profile per kind.
+func MaxShape(a, b *dd.ShapeProfile) *dd.ShapeProfile {
+	if a == nil {
+		return b
+	}
+	if b == nil || a.Nodes >= b.Nodes {
+		return a
+	}
+	return b
+}

@@ -146,6 +146,17 @@ func WithMaxNodes(n int) Option {
 	return func(s *Simulator) { s.pkg.SetMaxNodes(n) }
 }
 
+// WithShapeInterval enables structural shape profiling of the state
+// diagram: every n executed steps the simulator publishes a
+// dd.ShapeProfile (per-level occupancy, sharing factor, edge-weight
+// histogram) readable via Pkg().LastShape(). n ≤ 0 (the default)
+// disables sampling; the disabled per-step check is a single branch
+// and allocation-free. The profile walk is O(nodes), so the
+// amortized overhead at stride n is bounded by ~1/n of the step cost.
+func WithShapeInterval(n int) Option {
+	return func(s *Simulator) { s.pkg.SetShapeInterval(n) }
+}
+
 // WithWorkers sets the trajectory pool width for RunNoisy: the
 // ensemble is fanned out over n independent DD engine replicas.
 // 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs sequentially on
@@ -229,6 +240,7 @@ func (s *Simulator) setState(e dd.VEdge) {
 	if s.GCThreshold > 0 {
 		s.maybeGC()
 	}
+	s.pkg.MaybeShapeV(s.state)
 }
 
 // PeakNodes reports the largest state diagram seen so far — the

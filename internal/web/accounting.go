@@ -78,9 +78,16 @@ type sessionUsage struct {
 	ApplyMCTHits uint64 `json:"applyMCtHits"`
 	KernelOps    uint64 `json:"kernelOps"`
 	GenericOps   uint64 `json:"genericOps"`
+	// Structural meters from the last published shape profile (PR 10);
+	// all zero while the session has not crossed the sampling stride.
+	ShapeSeq              uint64  `json:"shapeSeq,omitempty"`
+	ShapeNodes            int     `json:"shapeNodes,omitempty"`
+	ShapeMaxLevelNodes    int     `json:"shapeMaxLevelNodes,omitempty"`
+	ShapeSharing          float64 `json:"shapeSharing,omitempty"`
+	ShapeIdentityFraction float64 `json:"shapeIdentityFraction,omitempty"`
 }
 
-func usageFrom(id, kind string, acct *sessionAccount, st dd.Stats, now time.Time) sessionUsage {
+func usageFrom(id, kind string, acct *sessionAccount, st dd.Stats, shape *dd.ShapeProfile, now time.Time) sessionUsage {
 	u := sessionUsage{
 		ID:             id,
 		Kind:           kind,
@@ -99,6 +106,13 @@ func usageFrom(id, kind string, acct *sessionAccount, st dd.Stats, now time.Time
 		u.DDSeconds = float64(acct.ddNanos.Load()) / 1e9
 		u.AgeSeconds = now.Sub(acct.created).Seconds()
 	}
+	if shape != nil {
+		u.ShapeSeq = shape.Seq
+		u.ShapeNodes = shape.Nodes
+		u.ShapeMaxLevelNodes = shape.MaxLevelNodes
+		u.ShapeSharing = shape.SharingFactor
+		u.ShapeIdentityFraction = shape.IdentityFraction
+	}
 	return u
 }
 
@@ -115,14 +129,14 @@ func (s *Server) sessionUsageSnapshot() []sessionUsage {
 			p.PublishStats()
 		}
 		st, _ := p.LastStats()
-		out = append(out, usageFrom(id, "sim", sess.acct, st, now))
+		out = append(out, usageFrom(id, "sim", sess.acct, st, p.LastShape(), now))
 	})
 	s.verifies.forEach(func(id string, sess *verifySession, fresh bool) {
 		if fresh {
 			sess.pkg.PublishStats()
 		}
 		st, _ := sess.pkg.LastStats()
-		out = append(out, usageFrom(id, "verify", sess.acct, st, now))
+		out = append(out, usageFrom(id, "verify", sess.acct, st, sess.pkg.LastShape(), now))
 	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].DDOps != out[j].DDOps {

@@ -63,6 +63,16 @@ type Config struct {
 	// oldest snapshots are deleted first when the cap is exceeded.
 	// 0 means unbounded.
 	SpillMaxBytes int64
+	// ShapeInterval is the structural profiling stride: every N
+	// executed session steps the DD engine publishes a shape profile
+	// (per-level occupancy, sharing factor, identity-padding fraction)
+	// feeding the dd_shape_* metric families, the per-session
+	// structural timelines, GET /debug/sessions/{id}/shape, and the
+	// node-blowup watchdog rule. 0 uses defaultShapeInterval (32, cost
+	// amortized well below 1% — see BENCH_pr10.json); negative
+	// disables profiling entirely (the per-step check is then a single
+	// branch, allocation-free).
+	ShapeInterval int
 	// TraceSpans sets each session's flight-recorder capacity (the
 	// number of completed spans retained for /debug/sessions/{id}/trace
 	// and debug bundles). 0 uses trace.DefaultCapacity; negative

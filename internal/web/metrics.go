@@ -23,6 +23,7 @@ import (
 type serverMetrics struct {
 	registry *obs.Registry
 	dd       *obs.DDCollector
+	shape    *obs.ShapeCollector
 
 	// Middleware-maintained traffic series.
 	reqByClass  [6]*obs.Counter // index = status/100; 0 unused
@@ -86,7 +87,7 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 	// Process identity first, so process_start_time_seconds and
 	// build_info lead the exposition regardless of what else registers.
 	obs.RegisterProcessMetrics(r)
-	m := &serverMetrics{registry: r, dd: obs.NewDDCollector(r)}
+	m := &serverMetrics{registry: r, dd: obs.NewDDCollector(r), shape: obs.NewShapeCollector(r)}
 	classes := [6]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
 	for i := 1; i < len(classes); i++ {
 		m.reqByClass[i] = r.Counter("http_requests_total",
@@ -189,25 +190,47 @@ func (s *Server) collect() {
 	// publish stride, no GC) still observes current table loads and
 	// node counts instead of a snapshot up to 31 operations old. Busy
 	// sessions fall back to the race-clean LastStats read.
+	// Shape aggregation rides the same sweep: each kind's gauges track
+	// the largest recently profiled diagram across sessions (the one a
+	// blowup would show up in first), and the profile counters sum the
+	// per-session sequence numbers. Idle sessions that never crossed the
+	// sampling stride get one forced profile here so short-lived
+	// sessions are not invisible; busy ones read race-clean snapshots.
 	var agg dd.Stats
 	pkgs := 0
+	var vecShape, matShape *dd.ShapeProfile
+	var vecProfiles, matProfiles uint64
 	s.sims.forEach(func(id string, sess *simSession, fresh bool) {
 		p := sess.sim.Pkg()
 		if fresh {
 			p.PublishStats()
+			if p.ShapeInterval() > 0 && p.LastShape() == nil {
+				p.PublishShapeV(sess.sim.State())
+			}
 		}
 		if st, ok := p.LastStats(); ok {
 			agg = obs.AddStats(agg, st)
 			pkgs++
 		}
+		if sp := p.LastShape(); sp != nil {
+			vecShape = obs.MaxShape(vecShape, sp)
+			vecProfiles += sp.Seq
+		}
 	})
 	s.verifies.forEach(func(id string, sess *verifySession, fresh bool) {
 		if fresh {
 			sess.pkg.PublishStats()
+			if sess.pkg.ShapeInterval() > 0 && sess.pkg.LastShape() == nil {
+				sess.pkg.PublishShapeM(sess.x)
+			}
 		}
 		if st, ok := sess.pkg.LastStats(); ok {
 			agg = obs.AddStats(agg, st)
 			pkgs++
+		}
+		if sp := sess.pkg.LastShape(); sp != nil {
+			matShape = obs.MaxShape(matShape, sp)
+			matProfiles += sp.Seq
 		}
 	})
 	if pkgs > 1 {
@@ -216,6 +239,7 @@ func (s *Server) collect() {
 		agg.UniqueLoadM /= float64(pkgs)
 	}
 	m.dd.Record(agg)
+	m.shape.Record(vecShape, matShape, vecProfiles, matProfiles)
 }
 
 // MetricsHandler serves this server's registry in Prometheus text
@@ -238,6 +262,10 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics.registry }
 // same top-level operations from one hook. Ring evictions feed
 // trace_spans_dropped_total.
 func (s *Server) instrument(p *dd.Pkg, rec *trace.Recorder, acct *sessionAccount) {
+	// The one per-session engine-setup choke point (it covers fresh and
+	// spill-restored sessions alike), so the shape profiling stride is
+	// installed here too.
+	p.SetShapeInterval(s.shapeInterval())
 	fns := []dd.TraceFunc{s.metrics.dd.Tracer()}
 	if acct != nil {
 		fns = append(fns, acct.ddTracer())

@@ -52,6 +52,7 @@ func (s *Server) Handler() http.Handler {
 	// precedence, so "top" is never treated as a session id.
 	mux.HandleFunc("GET /debug/sessions/top", s.handleSessionsTop)
 	mux.HandleFunc("GET /debug/sessions/{id}/trace", s.handleSessionTrace)
+	mux.HandleFunc("GET /debug/sessions/{id}/shape", s.handleSessionShape)
 	if s.tele != nil && s.cfg.LiveStream {
 		mux.HandleFunc("GET /debug/live", s.handleLive)
 	}

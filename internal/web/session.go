@@ -356,6 +356,7 @@ func (v *verifySession) stepSide(ctx context.Context, side string) (string, erro
 	v.pkg.IncRefM(next)
 	v.pkg.DecRefM(v.x)
 	v.x = next
+	v.pkg.MaybeShapeM(v.x)
 	*pos++
 	return op.String(), nil
 }

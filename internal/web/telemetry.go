@@ -31,7 +31,20 @@ const (
 	// watchCTMinLookups is the load floor for the collapse rule, so an
 	// idle engine's 0/0 ratio never fires it.
 	watchCTMinLookups = 1000.0
+	// watchBlowupFactor fires the node-blowup rule when the widest DD
+	// level grew by more than this factor over the window (or appeared
+	// from nothing at all) — exponential growth crosses any factor
+	// within a window or two, while legitimate plateaus never do.
+	watchBlowupFactor = 4.0
+	// watchBlowupMinNodes is the absolute occupancy floor of the
+	// blowup rule: growth below it is noise on any hardware, so small
+	// diagrams can quadruple freely without paging anyone.
+	watchBlowupMinNodes = 512.0
 )
+
+// sessionLabels renders the tsdb label set of one session's recorded
+// per-session series.
+func sessionLabels(id string) string { return fmt.Sprintf("id=%q", id) }
 
 // telemetry owns the sampling loop's moving parts.
 type telemetry struct {
@@ -89,6 +102,36 @@ func (s *Server) watchdogRules() []tsdb.Rule {
 			},
 		},
 		{
+			// Node-blowup early warning (the shape profiler's watchdog
+			// leg): the widest level's occupancy is the predictor of
+			// whether a DD workload stays feasible, so a rapid rise —
+			// past the floor, by more than the growth factor within the
+			// window — pages before the node budget kills the session.
+			// The gauge aggregates the largest recently profiled
+			// diagram per kind across sessions (see collect).
+			Name: "node_blowup",
+			Check: func(q tsdb.Querier, now time.Time) (string, bool) {
+				for _, kind := range []string{`kind="vector"`, `kind="matrix"`} {
+					latest, ok := q.Latest("dd_shape_max_level_nodes", kind)
+					if !ok || latest.V < watchBlowupMinNodes {
+						continue
+					}
+					growth, ok := q.Delta("dd_shape_max_level_nodes", kind, win, now)
+					if !ok || growth <= 0 {
+						continue
+					}
+					prev := latest.V - growth
+					if prev > 0 && latest.V < prev*watchBlowupFactor {
+						continue
+					}
+					level, _ := q.Latest("dd_shape_widest_level", kind)
+					return fmt.Sprintf("%s DD level %.0f grew %.0f → %.0f nodes over %s (floor %.0f, factor %g)",
+						kind, level.V, prev, latest.V, win, watchBlowupMinNodes, watchBlowupFactor), true
+				}
+				return "", false
+			},
+		},
+		{
 			Name: "spill_corruption",
 			Check: func(q tsdb.Querier, now time.Time) (string, bool) {
 				var n float64
@@ -130,7 +173,7 @@ func (s *Server) sampleTelemetry(now time.Time) {
 	s.collect()
 	usage := s.sessionUsageSnapshot()
 	for _, u := range usage {
-		labels := fmt.Sprintf("id=%q", u.ID)
+		labels := sessionLabels(u.ID)
 		// Cumulative per-session meters: windowed Rate/Delta over these
 		// recorded series yields the per-session dd.Stats deltas without
 		// ever exposing per-session label cardinality on /metrics. The
@@ -139,6 +182,16 @@ func (s *Server) sampleTelemetry(now time.Time) {
 		s.tele.store.Record("session_dd_seconds", labels, u.DDSeconds, now)
 		s.tele.store.Record("session_live_nodes", labels, float64(u.LiveNodes), now)
 		s.tele.store.Record("session_nodes_created", labels, float64(u.NodesCreated), now)
+		// Structural timeline: the shape profiler's per-session series,
+		// feeding GET /debug/sessions/{id}/shape and shape_timeline.json
+		// in debug bundles. Only recorded once a profile exists, so
+		// disabled-profiler sessions add no series at all.
+		if u.ShapeSeq > 0 {
+			s.tele.store.Record("session_shape_nodes", labels, float64(u.ShapeNodes), now)
+			s.tele.store.Record("session_shape_max_level_nodes", labels, float64(u.ShapeMaxLevelNodes), now)
+			s.tele.store.Record("session_shape_sharing", labels, u.ShapeSharing, now)
+			s.tele.store.Record("session_shape_identity_fraction", labels, u.ShapeIdentityFraction, now)
+		}
 	}
 	s.tele.store.SampleOnce(now)
 	s.tele.dog.Evaluate(now)

@@ -120,6 +120,14 @@ func (s *Server) BundleHandler() http.Handler {
 				Name: "watchdog.jsonl",
 				Fill: s.tele.dog.WriteJSONL,
 			})
+			members = append(members, obs.BundleMember{
+				Name: "shape_timeline.json",
+				Fill: func(w io.Writer) error {
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					return enc.Encode(s.shapeTimelineSnapshot(time.Now()))
+				},
+			})
 		}
 		for _, st := range s.sessionTraces() {
 			members = append(members, obs.BundleMember{
